@@ -1,0 +1,46 @@
+// Diagnostics: why walkers get trapped. For each evaluation graph, reports
+// the spectral gap, relaxation time, Cheeger bounds, and the bottleneck cut
+// found by the spectral sweep — connecting the estimation-error experiments
+// (Figs. 5, 10) to the structural cause (Section 4.3).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace frontier;
+  using namespace frontier::bench;
+  ExperimentConfig cfg = ExperimentConfig::from_env();
+  // Spectral analysis is dense-ish; shrink the surrogates.
+  cfg.scale_multiplier *= 0.2;
+
+  print_banner(std::cout,
+               "Diagnostics: mixing bottlenecks of the evaluation graphs");
+  std::cout << "(LCCs at 0.2x scale; power iteration on the lazy kernel)\n\n";
+
+  std::vector<Dataset> datasets;
+  datasets.push_back(synthetic_flickr(cfg));
+  datasets.push_back(synthetic_internet_rlt(cfg));
+  datasets.push_back(synthetic_gab(cfg));
+  datasets.push_back(synthetic_gab_er(cfg));
+
+  TextTable table({"graph", "|V| (LCC)", "gap", "relax. time",
+                   "Cheeger lo", "sweep-cut phi", "Cheeger hi",
+                   "cut size"});
+  for (const Dataset& ds : datasets) {
+    const Graph lcc = largest_connected_component(ds.graph).graph;
+    const SpectralInfo s = spectral_gap(lcc);
+    const auto [lo, hi] = cheeger_bounds(s.spectral_gap);
+    const SweepCut cut = spectral_sweep_cut(lcc);
+    table.add_row({ds.name, std::to_string(lcc.num_vertices()),
+                   format_number(s.spectral_gap, 3),
+                   format_number(s.relaxation_time, 3), format_number(lo, 3),
+                   format_number(cut.conductance, 3), format_number(hi, 3),
+                   std::to_string(cut.side.size())});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: the GAB graphs and the "
+               "community-structured Flickr surrogate have relaxation "
+               "times orders of magnitude above the tree-like Internet "
+               "graph; the sweep cut recovers the planted structure (on "
+               "GAB: exactly one half); phi always lies inside the Cheeger "
+               "sandwich\n";
+  return 0;
+}

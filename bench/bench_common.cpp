@@ -1,0 +1,76 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frontier::bench {
+
+CurveResult degree_error_curves(const Graph& g,
+                                const std::vector<EdgeMethod>& methods,
+                                DegreeKind kind, bool use_ccdf,
+                                std::size_t runs,
+                                const ExperimentConfig& cfg) {
+  const auto theta = degree_distribution(g, kind);
+  const auto truth = use_ccdf ? ccdf_from_pdf(theta) : theta;
+
+  CurveResult result;
+  result.degrees = log_spaced_degrees(
+      static_cast<std::uint32_t>(truth.size() - 1));
+
+  for (const EdgeMethod& method : methods) {
+    MseAccumulator acc = parallel_accumulate<MseAccumulator>(
+        runs, cfg.seed,
+        [&] { return MseAccumulator(truth); },
+        [&](std::size_t, Rng& rng, MseAccumulator& out) {
+          const auto edges = method.run(rng);
+          const auto est = estimate_degree_distribution(g, edges, kind);
+          out.add_run(use_ccdf ? ccdf_from_pdf(est) : est);
+        },
+        [](MseAccumulator& dst, const MseAccumulator& src) {
+          dst.merge(src);
+        },
+        cfg.threads);
+    result.names.push_back(method.name);
+    result.curves.push_back(acc.normalized_rmse());
+    // Summarize only over the log-spaced display degrees so a long flat
+    // tail does not dominate the mean.
+    std::vector<double> at_display;
+    for (std::uint32_t d : result.degrees) {
+      if (d < result.curves.back().size()) {
+        at_display.push_back(result.curves.back()[d]);
+      }
+    }
+    result.mean_error.push_back(geometric_mean_positive(at_display));
+  }
+  return result;
+}
+
+void print_curve_result(const std::string& x_name, const CurveResult& result) {
+  print_curves(std::cout, x_name, result.degrees, result.names,
+               result.curves);
+  std::cout << "\ngeometric-mean error over displayed degrees:\n";
+  for (std::size_t i = 0; i < result.names.size(); ++i) {
+    std::cout << "  " << result.names[i] << ": "
+              << format_number(result.mean_error[i]) << '\n';
+  }
+}
+
+void print_header(const std::string& title, const Graph& g,
+                  const std::string& params) {
+  print_banner(std::cout, title);
+  std::cout << "graph: " << g.summary() << '\n';
+  if (!params.empty()) std::cout << "params: " << params << '\n';
+  std::cout << '\n';
+}
+
+double vertex_fraction_budget(const Graph& g, double divisor) {
+  return static_cast<double>(g.num_vertices()) / divisor;
+}
+
+std::size_t scaled_dimension(double budget, double paper_budget,
+                             std::size_t paper_m, std::size_t floor_m) {
+  const double scaled = static_cast<double>(paper_m) * budget / paper_budget;
+  return std::max(floor_m, static_cast<std::size_t>(std::llround(scaled)));
+}
+
+}  // namespace frontier::bench

@@ -1,0 +1,62 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of Ribeiro & Towsley
+// (IMC 2010) on the synthetic surrogate datasets (DESIGN.md §3). Absolute
+// error values differ from the paper (different graphs, scaled-down sizes
+// and run counts); the *shape* — method ordering, crossovers, error decay —
+// is the reproduction target and is what EXPERIMENTS.md records.
+//
+// Environment knobs: FS_RUNS, FS_SCALE, FS_THREADS, FS_SEED (see
+// experiments/config.hpp).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/frontier.hpp"
+
+namespace frontier::bench {
+
+/// A sampling method under comparison: name + one-run edge producer.
+struct EdgeMethod {
+  std::string name;
+  std::function<std::vector<Edge>(Rng&)> run;
+};
+
+/// Result of a CNMSE/NMSE curve experiment for several methods.
+struct CurveResult {
+  std::vector<std::uint32_t> degrees;           // x values (log spaced)
+  std::vector<std::string> names;               // per method
+  std::vector<std::vector<double>> curves;      // per method, indexed by degree
+  std::vector<double> mean_error;               // mean positive NMSE per method
+};
+
+/// Runs `runs` replications of each method, estimating the `kind` degree
+/// distribution (as CCDF when `use_ccdf`), and returns per-degree
+/// normalized RMSE curves against the exact distribution of `g`.
+CurveResult degree_error_curves(const Graph& g,
+                                const std::vector<EdgeMethod>& methods,
+                                DegreeKind kind, bool use_ccdf,
+                                std::size_t runs,
+                                const ExperimentConfig& cfg);
+
+/// Prints a CurveResult as an aligned table plus per-method means.
+void print_curve_result(const std::string& x_name, const CurveResult& result);
+
+/// Prints the standard bench header (dataset summary + parameters).
+void print_header(const std::string& title, const Graph& g,
+                  const std::string& params);
+
+/// Budget shorthand: |V| / divisor.
+[[nodiscard]] double vertex_fraction_budget(const Graph& g, double divisor);
+
+/// Scales the paper's walker count so steps-per-walker stays comparable
+/// when the budget shrinks with the surrogate graphs: keeps
+/// budget/m ≈ paper_budget/paper_m, with a floor.
+[[nodiscard]] std::size_t scaled_dimension(double budget, double paper_budget,
+                                           std::size_t paper_m,
+                                           std::size_t floor_m = 10);
+
+}  // namespace frontier::bench

@@ -1,0 +1,86 @@
+// Crawl-health diagnostics: distinct-vertex coverage as a function of
+// spent budget. Unlike NMSE this is observable *without* ground truth —
+// a flattening coverage curve is the practical symptom of a trapped
+// walker. FS's curve keeps climbing because its walkers sit in every
+// component/community from the start.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace frontier;
+  using namespace frontier::bench;
+  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  const Dataset ds = synthetic_flickr(cfg);
+  const Graph& g = ds.graph;
+
+  const double budget = vertex_fraction_budget(g, 10.0);
+  const std::size_t m = scaled_dimension(budget, 171520.0, 1000, 50);
+  const std::size_t runs = cfg.runs(50);
+
+  print_header("Coverage: distinct vertices visited vs budget", g,
+               "B = |V|/10 = " + format_number(budget) + ", m = " +
+                   std::to_string(m) + ", mean over " +
+                   std::to_string(runs) + " runs");
+
+  std::vector<std::uint64_t> checkpoints;
+  for (std::uint64_t n = 64; n <= static_cast<std::uint64_t>(budget);
+       n *= 2) {
+    checkpoints.push_back(n);
+  }
+
+  const FrontierSampler fs(
+      g, {.dimension = m, .steps = frontier_steps(budget, m, 1.0)});
+  const SingleRandomWalk srw(
+      g, {.steps = static_cast<std::uint64_t>(budget) - 1});
+  const MultipleRandomWalks mrw(
+      g, {.num_walkers = m,
+          .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)});
+
+  struct Acc {
+    std::vector<double> sums;
+  };
+  const auto mean_curve =
+      [&](const std::function<std::vector<Edge>(Rng&)>& run,
+          std::uint64_t salt) {
+        Acc acc = parallel_accumulate<Acc>(
+            runs, cfg.seed + salt,
+            [&] { return Acc{std::vector<double>(checkpoints.size(), 0.0)}; },
+            [&](std::size_t, Rng& rng, Acc& out) {
+              const auto curve = coverage_curve(g, run(rng), checkpoints);
+              for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+                out.sums[i] +=
+                    static_cast<double>(curve.distinct_vertices[i]);
+              }
+            },
+            [](Acc& a, const Acc& b) {
+              for (std::size_t i = 0; i < a.sums.size(); ++i) {
+                a.sums[i] += b.sums[i];
+              }
+            },
+            cfg.threads);
+        std::vector<double> mean(checkpoints.size());
+        for (std::size_t i = 0; i < mean.size(); ++i) {
+          mean[i] = acc.sums[i] / static_cast<double>(runs);
+        }
+        return mean;
+      };
+
+  const auto fs_curve =
+      mean_curve([&](Rng& rng) { return fs.run(rng).edges; }, 1);
+  const auto srw_curve =
+      mean_curve([&](Rng& rng) { return srw.run(rng).edges; }, 2);
+  const auto mrw_curve =
+      mean_curve([&](Rng& rng) { return mrw.run(rng).edges; }, 3);
+
+  TextTable table({"samples", "FS distinct", "SRW distinct", "MRW distinct"});
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    table.add_row({std::to_string(checkpoints[i]),
+                   format_number(fs_curve[i], 5),
+                   format_number(srw_curve[i], 5),
+                   format_number(mrw_curve[i], 5)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: FS visits the most distinct vertices at "
+               "every budget level; SRW's curve flattens first (revisits "
+               "inside its neighborhood)\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 1: CNMSE of the in-degree CCDF on Flickr with budget B = |V|/10,
+// SingleRW vs MultipleRW (m = 10, jump cost c = 1, uniform starts).
+// Paper shape: MultipleRW is consistently *less* accurate than SingleRW
+// when walkers start from uniformly sampled vertices.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace frontier;
+  using namespace frontier::bench;
+  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  const Dataset ds = synthetic_flickr(cfg);
+  const Graph& g = ds.graph;
+
+  const double budget = vertex_fraction_budget(g, 10.0);
+  const std::size_t m = 10;
+  const std::size_t runs = cfg.runs(400);
+
+  print_header("Figure 1: CNMSE of in-degree CCDF, SingleRW vs MultipleRW",
+               g,
+               "B = |V|/10 = " + format_number(budget) +
+                   ", m = 10, c = 1, runs = " + std::to_string(runs));
+
+  const SingleRandomWalk srw(
+      g, {.steps = static_cast<std::uint64_t>(budget) - 1});
+  const MultipleRandomWalks mrw(
+      g, {.num_walkers = m,
+          .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)});
+
+  const std::vector<EdgeMethod> methods{
+      {"SingleRW", [&](Rng& rng) { return srw.run(rng).edges; }},
+      {"MultipleRW(m=10)", [&](Rng& rng) { return mrw.run(rng).edges; }},
+  };
+  const CurveResult result =
+      degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg);
+  print_curve_result("in-degree", result);
+
+  std::cout << "\nexpected shape: SingleRW below MultipleRW at most degrees\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark): sampler step throughput and the
+// FS walker-selection ablation (Fenwick weighted tree vs linear scan)
+// called out in DESIGN.md §5.
+#include <benchmark/benchmark.h>
+
+#include "core/frontier.hpp"
+
+namespace {
+
+using namespace frontier;
+
+const Graph& bench_graph() {
+  static const Graph g = [] {
+    Rng rng(42);
+    return barabasi_albert(50000, 5, rng);
+  }();
+  return g;
+}
+
+void BM_SingleRandomWalk(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto steps = static_cast<std::uint64_t>(state.range(0));
+  const SingleRandomWalk walker(g, {.steps = steps});
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walker.run(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SingleRandomWalk)->Arg(1000)->Arg(10000);
+
+void BM_MetropolisHastings(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto steps = static_cast<std::uint64_t>(state.range(0));
+  const MetropolisHastingsWalk walker(g, {.steps = steps});
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walker.run(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_MetropolisHastings)->Arg(10000);
+
+void BM_FrontierTree(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t steps = 10000;
+  const FrontierSampler fs(
+      g, {.dimension = m, .steps = steps,
+          .selection = FrontierSampler::Selection::kWeightedTree});
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.run(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_FrontierTree)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_FrontierLinearScan(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t steps = 10000;
+  const FrontierSampler fs(
+      g, {.dimension = m, .steps = steps,
+          .selection = FrontierSampler::Selection::kLinearScan});
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.run(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_FrontierLinearScan)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_DistributedFs(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t steps = 10000;
+  const DistributedFrontierSampler dfs(
+      g, {.dimension = m, .stop = {.max_steps = steps}});
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfs.run(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_DistributedFs)->Arg(64)->Arg(1024);
+
+void BM_RandomEdgeSampler(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const RandomEdgeSampler re(g, {.budget = 20000.0});
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.run(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_RandomEdgeSampler);
+
+void BM_DegreeDistributionEstimator(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const SingleRandomWalk walker(g, {.steps = 100000});
+  Rng rng(7);
+  const SampleRecord rec = walker.run(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_degree_distribution(g, rec.edges, DegreeKind::kSymmetric));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_DegreeDistributionEstimator);
+
+void BM_GraphBuild(benchmark::State& state) {
+  Rng rng(8);
+  for (auto _ : state) {
+    Rng local = rng.split_stream(static_cast<std::uint64_t>(state.iterations()));
+    benchmark::DoNotOptimize(barabasi_albert(10000, 3, local));
+  }
+}
+BENCHMARK(BM_GraphBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

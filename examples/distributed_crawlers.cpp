@@ -1,0 +1,49 @@
+// Scenario: a fleet of independent crawler processes with no coordination
+// (Section 5.3, Theorem 5.5). Each crawler holds its vertex for an
+// Exp(deg(v)) amount of time before stepping; merging their edge streams by
+// timestamp reproduces the centralized Frontier Sampling law exactly —
+// zero messages exchanged between crawlers.
+#include <iostream>
+
+#include "core/frontier.hpp"
+
+int main() {
+  using namespace frontier;
+  Rng rng(5);
+  const Graph g = barabasi_albert(30000, 3, rng);
+  std::cout << "graph: " << g.summary() << "\n\n";
+
+  const std::size_t m = 64;       // independent crawler processes
+  const std::uint64_t steps = g.num_vertices() / 4;
+
+  // Distributed FS: exponential clocks, no coordination.
+  const DistributedFrontierSampler dfs(
+      g, {.dimension = m, .stop = {.max_steps = steps}});
+  Rng rng_d(10);
+  const SampleRecord distributed = dfs.run(rng_d);
+
+  // Centralized FS with the same dimension, for comparison.
+  const FrontierSampler fs(g, {.dimension = m, .steps = steps});
+  Rng rng_c(20);
+  const SampleRecord centralized = fs.run(rng_c);
+
+  const auto pred = [&g](VertexId v) { return g.degree(v) <= 4; };
+  const double truth = exact_label_density(g, pred);
+
+  TextTable table({"method", "fraction deg<=4 (est)", "true"});
+  table.add_row({"DistributedFS(" + std::to_string(m) + " crawlers)",
+                 format_number(estimate_vertex_label_density(
+                     g, distributed.edges, pred)),
+                 format_number(truth)});
+  table.add_row({"CentralizedFS",
+                 format_number(estimate_vertex_label_density(
+                     g, centralized.edges, pred)),
+                 format_number(truth)});
+  table.print(std::cout);
+
+  std::cout << "\nBoth crawls sample edges uniformly in steady state — the "
+               "distributed fleet needs no coordination because the "
+               "exponential holding times realize the degree-proportional "
+               "walker selection implicitly (uniformization).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Scenario: characterize a graph stored as an edge-list file using a
+// sampling budget of 2% — the workflow a downstream user follows with
+// their own dataset:
+//
+//   $ ./edge_list_analysis [path/to/edges.txt]
+//
+// Without an argument the example writes out (and then analyzes) a
+// synthetic citation network, so it is runnable out of the box.
+#include <cstdio>
+#include <iostream>
+
+#include "core/frontier.hpp"
+
+int main(int argc, char** argv) {
+  using namespace frontier;
+
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/frontier_example_citations.txt";
+    Rng rng(13);
+    const Graph synthetic = directed_preferential(40000, 3, 0.15, rng);
+    write_edge_list_file(synthetic, path);
+    std::cout << "(no input given: wrote a synthetic citation network to "
+              << path << ")\n\n";
+  }
+
+  const Graph g = read_edge_list_file(path);
+  std::cout << "loaded: " << g.summary() << '\n';
+  const ComponentInfo comps = connected_components(g);
+  std::cout << "components: " << comps.num_components() << "\n\n";
+
+  const double budget = static_cast<double>(g.num_vertices()) / 50.0;
+  const std::size_t m = std::max<std::size_t>(10, g.num_vertices() / 2000);
+  Rng rng(1);
+  const FrontierSampler fs(
+      g, {.dimension = m, .steps = frontier_steps(budget, m, 1.0)});
+  const SampleRecord rec = fs.run(rng);
+
+  TextTable table({"characteristic", "estimate (2% budget)", "exact"});
+  table.add_row(
+      {"assortativity", format_number(estimate_assortativity(g, rec.edges)),
+       format_number(exact_assortativity(g))});
+  table.add_row({"global clustering",
+                 format_number(estimate_global_clustering(g, rec.edges)),
+                 format_number(exact_global_clustering(g))});
+  const auto est_in = estimate_degree_distribution(g, rec.edges,
+                                                   DegreeKind::kIn);
+  const auto true_in = degree_distribution(g, DegreeKind::kIn);
+  table.add_row({"P[in-degree = 0]",
+                 format_number(est_in.empty() ? 0.0 : est_in[0]),
+                 format_number(true_in.empty() ? 0.0 : true_in[0])});
+  table.print(std::cout);
+
+  std::cout << "\n(The 'exact' column is computable here because the whole "
+               "graph is local; on a live network only the estimates "
+               "exist.)\n";
+  return 0;
+}

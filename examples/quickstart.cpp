@@ -1,0 +1,56 @@
+// Quickstart: sample a graph with Frontier Sampling and estimate its
+// degree distribution from 1% of the vertices.
+//
+//   $ ./quickstart
+//
+// Walkthrough:
+//   1. build a graph (here: a 100k-vertex Barabási–Albert network),
+//   2. configure a FrontierSampler (m walkers, budget B),
+//   3. run it and feed the sampled edges to an estimator,
+//   4. compare against the exact answer (normally unavailable!).
+#include <iostream>
+
+#include "core/frontier.hpp"
+
+int main() {
+  using namespace frontier;
+
+  // 1. A synthetic social-like network. In a real deployment you would
+  //    crawl a live system or load an edge list (see edge_list_analysis).
+  Rng rng(2010);
+  const Graph g = barabasi_albert(100000, 4, rng);
+  std::cout << "graph: " << g.summary() << "\n\n";
+
+  // 2. Frontier Sampling: m = 500 dependent walkers, total budget 1% of
+  //    the vertices, one budget unit per walker start (Algorithm 1).
+  const double budget = static_cast<double>(g.num_vertices()) / 100.0;
+  const std::size_t m = 500;
+  FrontierSampler::Config config;
+  config.dimension = m;
+  config.steps = frontier_steps(budget, m, /*jump_cost=*/1.0);
+  const FrontierSampler sampler(g, config);
+
+  // 3. One run; estimate the degree CCDF from the sampled edges.
+  const SampleRecord record = sampler.run(rng);
+  std::cout << "sampled " << record.edges.size() << " edges with budget "
+            << budget << "\n\n";
+  const auto est_ccdf =
+      estimate_degree_ccdf(g, record.edges, DegreeKind::kSymmetric);
+
+  // 4. Side-by-side with the exact CCDF.
+  const auto exact_ccdf =
+      ccdf_from_pdf(degree_distribution(g, DegreeKind::kSymmetric));
+  TextTable table({"degree", "estimated CCDF", "exact CCDF"});
+  for (std::uint32_t d : log_spaced_degrees(
+           static_cast<std::uint32_t>(exact_ccdf.size() - 1))) {
+    if (exact_ccdf[d] <= 0.0) continue;
+    table.add_row({std::to_string(d),
+                   d < est_ccdf.size() ? format_number(est_ccdf[d]) : "0",
+                   format_number(exact_ccdf[d])});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEstimates from 1% of the graph track the exact CCDF "
+               "across the full degree range.\n";
+  return 0;
+}

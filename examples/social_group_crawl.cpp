@@ -1,0 +1,66 @@
+// Scenario: estimating special-interest-group popularity in an online
+// social network (the Section 6.5 workload). A crawler with a limited
+// query budget wants the fraction of users in each of the most popular
+// groups. Compares Frontier Sampling against a single random walk and
+// random vertex sampling under the same budget.
+#include <iostream>
+
+#include "core/frontier.hpp"
+
+int main() {
+  using namespace frontier;
+  ExperimentConfig cfg;  // defaults; not reading the environment here
+  cfg.scale_multiplier = 0.5;
+
+  const Dataset ds = synthetic_flickr(cfg);
+  const Graph& g = ds.graph;
+  std::cout << "social network: " << g.summary() << '\n'
+            << "groups: " << ds.num_groups << "\n\n";
+
+  const std::size_t top = 10;
+  const double budget = static_cast<double>(g.num_vertices()) / 10.0;
+  const std::size_t m = 100;
+  Rng rng(7);
+
+  // Ground truth (a real crawler would not have this).
+  std::vector<double> truth(top, 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t grp : ds.groups(v)) {
+      if (grp < top) truth[grp] += 1.0;
+    }
+  }
+  for (double& t : truth) t /= static_cast<double>(g.num_vertices());
+
+  const auto groups_of = [&ds](VertexId v) { return ds.groups(v); };
+
+  // Frontier Sampling crawl.
+  const FrontierSampler fs(
+      g, {.dimension = m, .steps = frontier_steps(budget, m, 1.0)});
+  const auto fs_est =
+      estimate_group_densities(g, fs.run(rng).edges, groups_of, top);
+
+  // Single random walk crawl.
+  const SingleRandomWalk srw(
+      g, {.steps = static_cast<std::uint64_t>(budget) - 1});
+  const auto srw_est =
+      estimate_group_densities(g, srw.run(rng).edges, groups_of, top);
+
+  // Random user-id probing (10% hit ratio: sparse id space).
+  const RandomVertexSampler rv(
+      g, {.budget = budget, .cost = {.jump_cost = 1.0, .hit_ratio = 0.1}});
+  const auto rv_est = estimate_group_densities_uniform(
+      rv.run(rng).vertices, groups_of, top);
+
+  TextTable table({"group", "true density", "FS", "SingleRW",
+                   "RandomVertex(10% hit)"});
+  for (std::size_t grp = 0; grp < top; ++grp) {
+    table.add_row({"#" + std::to_string(grp + 1), format_number(truth[grp]),
+                   format_number(fs_est[grp]), format_number(srw_est[grp]),
+                   format_number(rv_est[grp])});
+  }
+  table.print(std::cout);
+  std::cout << "\nOne crawl each; FS is typically closest because its "
+               "walkers cover the whole graph instead of one neighborhood "
+               "and its budget is not wasted on invalid user-ids.\n";
+  return 0;
+}

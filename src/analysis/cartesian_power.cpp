@@ -1,0 +1,116 @@
+#include "analysis/cartesian_power.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace frontier {
+
+StateCodec::StateCodec(std::size_t num_vertices, std::size_t m)
+    : n_(num_vertices), m_(m) {
+  if (n_ == 0 || m_ == 0) {
+    throw std::invalid_argument("StateCodec: n and m must be positive");
+  }
+  states_ = 1;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (states_ > (~std::size_t{0}) / n_) {
+      throw std::invalid_argument("StateCodec: |V|^m overflows");
+    }
+    states_ *= n_;
+  }
+}
+
+std::size_t StateCodec::encode(const std::vector<VertexId>& tuple) const {
+  if (tuple.size() != m_) throw std::invalid_argument("StateCodec::encode");
+  std::size_t code = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (tuple[i] >= n_) throw std::out_of_range("StateCodec::encode vertex");
+    code = code * n_ + tuple[i];
+  }
+  return code;
+}
+
+std::vector<VertexId> StateCodec::decode(std::size_t code) const {
+  if (code >= states_) throw std::out_of_range("StateCodec::decode");
+  std::vector<VertexId> tuple(m_);
+  for (std::size_t i = m_; i-- > 0;) {
+    tuple[i] = static_cast<VertexId>(code % n_);
+    code /= n_;
+  }
+  return tuple;
+}
+
+DenseChain frontier_chain(const Graph& g, std::size_t m,
+                          std::size_t max_states) {
+  const StateCodec codec(g.num_vertices(), m);
+  if (codec.num_states() > max_states) {
+    throw std::invalid_argument("frontier_chain: |V|^m exceeds max_states");
+  }
+  DenseChain chain(codec.num_states());
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    const auto tuple = codec.decode(code);
+    double frontier_degree = 0.0;
+    for (VertexId v : tuple) {
+      frontier_degree += static_cast<double>(g.degree(v));
+    }
+    if (frontier_degree == 0.0) {
+      chain.set(code, code, 1.0);  // all walkers stuck on isolated vertices
+      continue;
+    }
+    // Each edge incident to the frontier is taken with equal probability
+    // 1/|e(L_n)| (proof of Lemma 5.1).
+    const double p = 1.0 / frontier_degree;
+    auto next = tuple;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (VertexId w : g.neighbors(tuple[i])) {
+        next[i] = w;
+        const std::size_t to = codec.encode(next);
+        chain.set(code, to, chain.get(code, to) + p);
+      }
+      next[i] = tuple[i];
+    }
+  }
+  return chain;
+}
+
+std::vector<double> frontier_stationary_formula(const Graph& g,
+                                                std::size_t m) {
+  const StateCodec codec(g.num_vertices(), m);
+  std::vector<double> pi(codec.num_states(), 0.0);
+  const double denom = static_cast<double>(m) *
+                       std::pow(static_cast<double>(g.num_vertices()),
+                                static_cast<double>(m - 1)) *
+                       static_cast<double>(g.volume());
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    double deg_sum = 0.0;
+    for (VertexId v : codec.decode(code)) {
+      deg_sum += static_cast<double>(g.degree(v));
+    }
+    pi[code] = deg_sum / denom;
+  }
+  return pi;
+}
+
+std::vector<double> independent_walkers_stationary(const Graph& g,
+                                                   std::size_t m) {
+  const StateCodec codec(g.num_vertices(), m);
+  const double vol = static_cast<double>(g.volume());
+  std::vector<double> pi(codec.num_states(), 0.0);
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    double p = 1.0;
+    for (VertexId v : codec.decode(code)) {
+      p *= static_cast<double>(g.degree(v)) / vol;
+    }
+    pi[code] = p;
+  }
+  return pi;
+}
+
+std::vector<double> uniform_joint_distribution(const Graph& g,
+                                               std::size_t m) {
+  const StateCodec codec(g.num_vertices(), m);
+  return std::vector<double>(
+      codec.num_states(),
+      1.0 / static_cast<double>(codec.num_states()));
+}
+
+}  // namespace frontier

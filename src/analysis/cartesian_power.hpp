@@ -1,0 +1,58 @@
+// Explicit construction of the m-th Cartesian power G^m and of the Frontier
+// Sampling Markov chain on it (Lemma 5.1 / Theorem 5.2). Only feasible for
+// tiny graphs — |V|^m states — which is exactly what the correctness tests
+// need: the empirical FS process can be checked against the exact chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dense_chain.hpp"
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+/// Encodes/decodes FS states L = (v_1, ..., v_m) as mixed-radix integers
+/// over |V|^m.
+class StateCodec {
+ public:
+  StateCodec(std::size_t num_vertices, std::size_t m);
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return states_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return m_; }
+
+  [[nodiscard]] std::size_t encode(
+      const std::vector<VertexId>& tuple) const;
+  [[nodiscard]] std::vector<VertexId> decode(std::size_t code) const;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t states_;
+};
+
+/// The FS transition chain on G^m: from L, each component v_i steps to a
+/// uniform neighbor with probability deg(v_i)/Σ_j deg(v_j) × 1/deg(v_i)
+/// = 1/Σ_j deg(v_j) per incident edge — i.e. a single random walk on G^m
+/// (Lemma 5.1). States containing an isolated vertex are absorbing.
+/// Throws std::invalid_argument if |V|^m exceeds max_states.
+[[nodiscard]] DenseChain frontier_chain(const Graph& g, std::size_t m,
+                                        std::size_t max_states = 1 << 20);
+
+/// Theorem 5.2 (II): the closed-form FS stationary law
+/// P[L = (v_1..v_m)] = Σ_i deg(v_i) / (m |V|^{m-1} vol(V)), indexed by
+/// StateCodec codes.
+[[nodiscard]] std::vector<double> frontier_stationary_formula(const Graph& g,
+                                                              std::size_t m);
+
+/// The product law of m independent stationary walkers:
+/// Π_i deg(v_i)/vol(V). The paper's Section 5.2 compares how far each joint
+/// law sits from the uniform starting law.
+[[nodiscard]] std::vector<double> independent_walkers_stationary(
+    const Graph& g, std::size_t m);
+
+/// Uniform law over V^m (the initialization law of FS with uniform starts).
+[[nodiscard]] std::vector<double> uniform_joint_distribution(const Graph& g,
+                                                             std::size_t m);
+
+}  // namespace frontier

@@ -1,0 +1,95 @@
+#include "analysis/conductance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "analysis/spectral.hpp"
+
+namespace frontier {
+
+double cut_conductance(const Graph& g, std::span<const VertexId> subset) {
+  if (subset.empty() || subset.size() >= g.num_vertices()) {
+    throw std::invalid_argument("cut_conductance: proper non-empty subset");
+  }
+  std::vector<bool> in_s(g.num_vertices(), false);
+  std::uint64_t vol_s = 0;
+  for (VertexId v : subset) {
+    if (v >= g.num_vertices() || in_s[v]) {
+      throw std::invalid_argument("cut_conductance: bad or duplicate vertex");
+    }
+    in_s[v] = true;
+    vol_s += g.degree(v);
+  }
+  std::uint64_t cut = 0;
+  for (VertexId v : subset) {
+    for (VertexId w : g.neighbors(v)) {
+      if (!in_s[w]) ++cut;
+    }
+  }
+  const std::uint64_t vol_rest = g.volume() - vol_s;
+  const std::uint64_t denom = std::min(vol_s, vol_rest);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+SweepCut spectral_sweep_cut(const Graph& g) {
+  const auto fiedler = second_eigenvector(g);
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&fiedler](VertexId a, VertexId b) {
+    return fiedler[a] < fiedler[b];
+  });
+
+  // Incremental sweep: maintain cut and volume while moving vertices into
+  // S in eigenvector order; O(|E|) total.
+  std::vector<bool> in_s(g.num_vertices(), false);
+  std::uint64_t vol_s = 0;
+  std::int64_t cut = 0;
+  double best = 1.0;
+  std::size_t best_prefix = 1;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const VertexId v = order[i];
+    in_s[v] = true;
+    vol_s += g.degree(v);
+    for (VertexId w : g.neighbors(v)) {
+      cut += in_s[w] ? -1 : +1;
+    }
+    const std::uint64_t vol_rest = g.volume() - vol_s;
+    const std::uint64_t denom = std::min(vol_s, vol_rest);
+    if (denom == 0) continue;
+    const double phi =
+        static_cast<double>(cut) / static_cast<double>(denom);
+    if (phi < best) {
+      best = phi;
+      best_prefix = i + 1;
+    }
+  }
+
+  SweepCut result;
+  result.conductance = best;
+  // Return the smaller-volume side.
+  std::uint64_t vol_prefix = 0;
+  for (std::size_t i = 0; i < best_prefix; ++i) {
+    vol_prefix += g.degree(order[i]);
+  }
+  if (vol_prefix * 2 <= g.volume()) {
+    result.side.assign(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(best_prefix));
+  } else {
+    result.side.assign(order.begin() + static_cast<std::ptrdiff_t>(best_prefix),
+                       order.end());
+  }
+  std::sort(result.side.begin(), result.side.end());
+  return result;
+}
+
+std::pair<double, double> cheeger_bounds(double spectral_gap) {
+  if (spectral_gap < 0.0) {
+    throw std::invalid_argument("cheeger_bounds: gap >= 0");
+  }
+  return {spectral_gap / 2.0, std::sqrt(2.0 * spectral_gap)};
+}
+
+}  // namespace frontier

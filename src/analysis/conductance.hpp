@@ -1,0 +1,41 @@
+// Cut conductance and spectral sweep partitioning.
+//
+// The conductance Φ(S) = cut(S, S̄) / min(vol(S), vol(S̄)) of the worst cut
+// is *the* structural quantity behind walker trapping (Section 4.3): by
+// Cheeger's inequality the random walk needs Ω(1/Φ) steps to cross a
+// bottleneck, so a graph with a low-conductance cut traps a single walker
+// on one side for most of a small budget. The sweep-cut routine recovers
+// such a bottleneck from the second eigenvector of the walk kernel —
+// useful both as a diagnostic and to validate that the synthetic
+// surrogates actually contain the bottlenecks the experiments rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+/// Φ(S) for an explicit vertex subset (proper, non-empty; ids unique).
+/// Throws std::invalid_argument otherwise.
+[[nodiscard]] double cut_conductance(const Graph& g,
+                                     std::span<const VertexId> subset);
+
+struct SweepCut {
+  std::vector<VertexId> side;  ///< the smaller-volume side of the best cut
+  double conductance = 1.0;
+};
+
+/// Spectral sweep: orders vertices by the second eigenvector of the lazy
+/// walk kernel and returns the best prefix cut. Connected graphs up to a
+/// few thousand vertices (uses analysis/spectral.hpp's power iteration).
+[[nodiscard]] SweepCut spectral_sweep_cut(const Graph& g);
+
+/// Cheeger bounds for the spectral gap: gap/2 <= Φ <= sqrt(2*gap).
+/// Returns {lower, upper} for the given measured gap.
+[[nodiscard]] std::pair<double, double> cheeger_bounds(double spectral_gap);
+
+}  // namespace frontier

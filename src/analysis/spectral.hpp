@@ -1,0 +1,48 @@
+// Spectral diagnostics of the random-walk kernel: the spectral gap and the
+// relaxation/mixing-time bounds behind the "trapped walker" phenomenon
+// (Section 4.3). A loosely connected graph — G_AB, community-structured
+// social networks — has a second eigenvalue close to 1, so a single walker
+// needs ~1/(1-λ₂) steps to forget its start; Frontier Sampling's advantage
+// is precisely that its *start* is already near-stationary (Theorem 5.4)
+// so it never pays this relaxation time.
+//
+// Dense computations — intended for analysis-scale graphs (up to a few
+// thousand vertices).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+struct SpectralInfo {
+  double lambda2 = 0.0;         ///< second-largest eigenvalue magnitude
+  double spectral_gap = 0.0;    ///< 1 - lambda2
+  double relaxation_time = 0.0; ///< 1 / gap (infinite if gap ~ 0)
+};
+
+/// Second eigenvalue of the random-walk kernel P on a connected graph via
+/// power iteration on the stationarity-orthogonal complement (the kernel is
+/// reversible, so eigenvalues are real; deflation uses the known principal
+/// pair (1, π)). Uses the lazy kernel (I+P)/2 internally so the result is
+/// the magnitude-relevant eigenvalue even on near-bipartite graphs, then
+/// maps back (λ_lazy = (1+λ)/2).
+/// Throws std::invalid_argument on disconnected or empty graphs.
+[[nodiscard]] SpectralInfo spectral_gap(const Graph& g,
+                                        std::uint64_t max_iters = 5000,
+                                        double tol = 1e-10);
+
+/// The (π-normalized) eigenfunction paired with lambda2 — the Fiedler-like
+/// direction whose sign/sweep structure identifies the walk's bottleneck
+/// (used by analysis/conductance.hpp's spectral_sweep_cut).
+[[nodiscard]] std::vector<double> second_eigenvector(
+    const Graph& g, std::uint64_t max_iters = 5000, double tol = 1e-10);
+
+/// Upper bound on the total-variation mixing time implied by the gap:
+/// t_mix(eps) <= relaxation_time * ln(1/(eps * pi_min)).
+[[nodiscard]] double mixing_time_bound(const Graph& g, const SpectralInfo& s,
+                                       double eps = 0.25);
+
+}  // namespace frontier

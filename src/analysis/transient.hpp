@@ -1,0 +1,61 @@
+// Transient edge-sampling probabilities (Appendix B / Table 4).
+//
+// Appendix B measures convergence to stationarity through
+//   max_{(u,v) ∈ E} | 1 - p^{(B)}_{u,v} / (1/|E|) |,
+// the worst relative difference between the probability that the *last*
+// edge a method samples under budget B is (u,v) and the stationary uniform
+// edge law 1/|E|. (Table 4 reports values above 100%: a walker started
+// from a uniform vertex oversamples the edges of low-degree vertices by a
+// factor of up to d̄/deg(u) before it mixes.)
+//
+// For one walker the last-edge law factorizes exactly:
+//   p(u,v) = P[X_{s-1} = u] / deg(u),
+// so SingleRW (and MultipleRW, whose walkers are iid copies) are computed
+// *exactly* by evolving the dense chain from the uniform start. The FS chain
+// lives on |V|^m states, so FS is estimated by Monte Carlo with a
+// Rao-Blackwellized estimator: conditioned on the frontier L before the
+// last step, the next edge is (u,v) with probability c_u(L)/D(L) for every
+// edge out of u (c_u = walkers at u, D = Σ_i deg(v_i)), so each run
+// contributes the whole conditional vector instead of a single indicator —
+// cutting the variance by roughly a factor of |E|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "random/rng.hpp"
+
+namespace frontier {
+
+/// Sparse t-step evolution of a vertex distribution under the RW kernel:
+/// O(|E|) per step, no dense matrix — usable on full-size graphs.
+[[nodiscard]] std::vector<double> rw_evolve_sparse(const Graph& g,
+                                                   std::vector<double> dist,
+                                                   std::uint64_t steps);
+
+/// Exact last-edge relative deficit of a single walker after `steps` steps
+/// from a uniform start. Requires a connected graph with steps >= 1.
+[[nodiscard]] double srw_edge_deficit_exact(const Graph& g,
+                                            std::uint64_t steps);
+
+/// MultipleRW with K walkers under total budget B and unit jump cost: each
+/// walker takes floor(B/K - 1) steps; walkers are iid so the deficit equals
+/// the single-walker deficit at that horizon.
+[[nodiscard]] double mrw_edge_deficit_exact(const Graph& g, std::size_t k,
+                                            double budget);
+
+/// Monte-Carlo estimate of the FS last-edge deficit with m walkers after
+/// `steps` FS steps from uniform starts, averaged over `runs` replications.
+[[nodiscard]] double fs_edge_deficit_mc(const Graph& g, std::size_t m,
+                                        std::uint64_t steps, std::size_t runs,
+                                        Rng& rng);
+
+/// The per-vertex expected edge-rate vector E[c_u(L)/D(L)] scaled by vol(V)
+/// (1.0 everywhere at stationarity) that fs_edge_deficit_mc maximizes over.
+/// Exposed for tests.
+[[nodiscard]] std::vector<double> fs_vertex_edge_rates_mc(
+    const Graph& g, std::size_t m, std::uint64_t steps, std::size_t runs,
+    Rng& rng);
+
+}  // namespace frontier

@@ -1,0 +1,80 @@
+#include "analysis/walker_counts.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace frontier {
+
+SubsetStats subset_stats(const Graph& g, std::span<const VertexId> subset) {
+  if (subset.empty() || subset.size() >= g.num_vertices()) {
+    throw std::invalid_argument("subset_stats: V_A must be a proper subset");
+  }
+  std::vector<bool> in_a(g.num_vertices(), false);
+  std::uint64_t vol_a = 0;
+  for (VertexId v : subset) {
+    if (v >= g.num_vertices() || in_a[v]) {
+      throw std::invalid_argument("subset_stats: bad or duplicate vertex");
+    }
+    in_a[v] = true;
+    vol_a += g.degree(v);
+  }
+  const std::uint64_t na = subset.size();
+  const std::uint64_t nb = g.num_vertices() - na;
+  const std::uint64_t vol_b = g.volume() - vol_a;
+
+  SubsetStats s;
+  s.p = static_cast<double>(na) / static_cast<double>(g.num_vertices());
+  s.da = static_cast<double>(vol_a) / static_cast<double>(na);
+  s.db = static_cast<double>(vol_b) / static_cast<double>(nb);
+  s.d = g.average_degree();
+  return s;
+}
+
+std::vector<double> binomial_pmf(std::size_t m, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("binomial_pmf: p in [0,1]");
+  }
+  // Log-space evaluation keeps large m stable.
+  std::vector<double> pmf(m + 1, 0.0);
+  for (std::size_t k = 0; k <= m; ++k) {
+    double log_p = std::lgamma(static_cast<double>(m) + 1.0) -
+                   std::lgamma(static_cast<double>(k) + 1.0) -
+                   std::lgamma(static_cast<double>(m - k) + 1.0);
+    if (k > 0) {
+      if (p == 0.0) continue;
+      log_p += static_cast<double>(k) * std::log(p);
+    }
+    if (k < m) {
+      if (p == 1.0) continue;
+      log_p += static_cast<double>(m - k) * std::log1p(-p);
+    }
+    pmf[k] = std::exp(log_p);
+  }
+  return pmf;
+}
+
+std::vector<double> kfs_pmf(std::size_t m, const SubsetStats& stats) {
+  if (stats.d <= 0.0) throw std::invalid_argument("kfs_pmf: d > 0 required");
+  std::vector<double> pmf = binomial_pmf(m, stats.p);
+  const double md = static_cast<double>(m) * stats.d;
+  for (std::size_t k = 0; k <= m; ++k) {
+    const double tilt = (static_cast<double>(k) * stats.da +
+                         static_cast<double>(m - k) * stats.db) /
+                        md;
+    pmf[k] *= tilt;
+  }
+  return pmf;
+}
+
+std::vector<double> kmw_pmf(std::size_t m, const SubsetStats& stats) {
+  // vol(V_A)/vol(V) = p * da / d.
+  return binomial_pmf(m, stats.p * stats.da / stats.d);
+}
+
+double alpha_ratio(const SubsetStats& stats) {
+  if (stats.d <= 0.0) throw std::invalid_argument("alpha_ratio: d > 0");
+  return stats.da / stats.d;
+}
+
+}  // namespace frontier

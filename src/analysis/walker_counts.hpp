@@ -1,0 +1,47 @@
+// Walker-count laws of Section 5 — how many of the m walkers sit inside a
+// vertex subset V_A.
+//
+//   K_un(m): m uniform starts  -> Binomial(m, |V_A|/|V|),
+//   K_fs(m): FS in steady state -> Lemma 5.3's size-biased binomial,
+//   K_mw(m): m independent stationary walkers -> Binomial(m, vol(V_A)/vol(V)),
+//
+// and Section 5.1's ratio α_A = E[K_mw]/E[K_un] = d̄_A/d̄. Theorem 5.4 says
+// K_fs converges in distribution to K_un as m → ∞ — the key reason FS can
+// be *started* from uniform vertex samples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+/// Subset statistics used by every law below.
+struct SubsetStats {
+  double p = 0.0;    ///< |V_A| / |V|
+  double da = 0.0;   ///< average degree inside V_A
+  double db = 0.0;   ///< average degree of the complement
+  double d = 0.0;    ///< overall average degree
+};
+
+[[nodiscard]] SubsetStats subset_stats(const Graph& g,
+                                       std::span<const VertexId> subset);
+
+/// Binomial(m, p) pmf vector of length m+1.
+[[nodiscard]] std::vector<double> binomial_pmf(std::size_t m, double p);
+
+/// Lemma 5.3: P[K_fs(m) = k] = (1/(m d̄)) C(m,k) p^k (1-p)^{m-k}
+///            (k d̄_A + (m-k) d̄_B), as a vector of length m+1.
+[[nodiscard]] std::vector<double> kfs_pmf(std::size_t m,
+                                          const SubsetStats& stats);
+
+/// Steady-state law of m independent walkers: Binomial(m, vol(V_A)/vol(V)).
+[[nodiscard]] std::vector<double> kmw_pmf(std::size_t m,
+                                          const SubsetStats& stats);
+
+/// Section 5.1's α_A = E[K_mw(m)] / E[K_un(m)] = d̄_A / d̄.
+[[nodiscard]] double alpha_ratio(const SubsetStats& stats);
+
+}  // namespace frontier

@@ -1,0 +1,67 @@
+// libfrontier umbrella header — the public API.
+//
+// #include "core/frontier.hpp" pulls in the whole library:
+//   * graph substrate (graph/, generators, components, metrics, io),
+//   * samplers (sampling/): SingleRandomWalk, MultipleRandomWalks,
+//     FrontierSampler, DistributedFrontierSampler, MetropolisHastingsWalk,
+//     RandomVertexSampler, RandomEdgeSampler,
+//   * estimators (estimators/): label densities, degree distributions,
+//     assortativity, global clustering,
+//   * statistics (stats/): NMSE/CNMSE accumulators, analytic error models,
+//   * exact chain analysis (analysis/): G^m chains, walker-count laws,
+//     transient edge-sampling probabilities,
+//   * experiment harness (experiments/): datasets, replication, printing.
+#pragma once
+
+#include "core/types.hpp"
+#include "core/version.hpp"
+
+#include "random/rng.hpp"
+#include "random/alias_table.hpp"
+#include "random/weighted_tree.hpp"
+
+#include "graph/graph.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "graph/io.hpp"
+#include "graph/distance.hpp"
+
+#include "sampling/budget.hpp"
+#include "sampling/walk.hpp"
+#include "sampling/single_rw.hpp"
+#include "sampling/multiple_rw.hpp"
+#include "sampling/frontier_sampler.hpp"
+#include "sampling/distributed_fs.hpp"
+#include "sampling/metropolis.hpp"
+#include "sampling/random_vertex.hpp"
+#include "sampling/random_edge.hpp"
+#include "sampling/random_walk_with_jumps.hpp"
+#include "sampling/parallel_fs.hpp"
+#include "sampling/coverage.hpp"
+
+#include "estimators/density.hpp"
+#include "estimators/degree_distribution.hpp"
+#include "estimators/assortativity.hpp"
+#include "estimators/clustering.hpp"
+#include "estimators/graph_moments.hpp"
+#include "estimators/joint_degree.hpp"
+#include "estimators/neighbor_degree.hpp"
+
+#include "stats/accumulators.hpp"
+#include "stats/error_metrics.hpp"
+#include "stats/analytic.hpp"
+#include "stats/bootstrap.hpp"
+
+#include "analysis/dense_chain.hpp"
+#include "analysis/cartesian_power.hpp"
+#include "analysis/walker_counts.hpp"
+#include "analysis/transient.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/conductance.hpp"
+
+#include "experiments/config.hpp"
+#include "experiments/datasets.hpp"
+#include "experiments/replicator.hpp"
+#include "experiments/printers.hpp"

@@ -1,0 +1,38 @@
+// Core value types shared by every libfrontier module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace frontier {
+
+/// Vertex identifier. Vertices of a Graph are always the dense range
+/// [0, Graph::num_vertices()).
+using VertexId = std::uint32_t;
+
+/// Index of an edge slot inside the CSR adjacency arrays.
+using EdgeIndex = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// A directed edge (u -> v). In the symmetrized graph G both (u,v) and
+/// (v,u) are present; samplers record edges in the traversal direction.
+struct Edge {
+  VertexId u{kInvalidVertex};
+  VertexId v{kInvalidVertex};
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Direction of an adjacency entry with respect to the *original* directed
+/// graph G_d. The symmetric counterpart G stores one entry per unordered
+/// neighbor pair direction; the flags record which directed edges exist.
+enum class EdgeDir : std::uint8_t {
+  kForward = 1,   ///< (u,v) in E_d only.
+  kBackward = 2,  ///< (v,u) in E_d only.
+  kBoth = 3,      ///< both (u,v) and (v,u) in E_d.
+};
+
+}  // namespace frontier

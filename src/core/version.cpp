@@ -1,0 +1,9 @@
+#include "core/version.hpp"
+
+namespace frontier {
+
+Version library_version() noexcept { return Version{1, 0, 0}; }
+
+const char* library_version_string() noexcept { return "1.0.0"; }
+
+}  // namespace frontier

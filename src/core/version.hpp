@@ -1,0 +1,18 @@
+// Library version metadata.
+#pragma once
+
+namespace frontier {
+
+struct Version {
+  int major;
+  int minor;
+  int patch;
+};
+
+/// Compile-time library version.
+[[nodiscard]] Version library_version() noexcept;
+
+/// "major.minor.patch".
+[[nodiscard]] const char* library_version_string() noexcept;
+
+}  // namespace frontier

@@ -1,0 +1,36 @@
+#include "estimators/assortativity.hpp"
+
+#include <cmath>
+
+namespace frontier {
+
+void AssortativityAccumulator::add(double x, double y) noexcept {
+  ++n_;
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  syy_ += y * y;
+  sxy_ += x * y;
+}
+
+double AssortativityAccumulator::value() const noexcept {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double cov = sxy_ / n - (sx_ / n) * (sy_ / n);
+  const double vx = sxx_ / n - (sx_ / n) * (sx_ / n);
+  const double vy = syy_ / n - (sy_ / n) * (sy_ / n);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+double estimate_assortativity(const Graph& g, std::span<const Edge> edges) {
+  AssortativityAccumulator acc;
+  for (const Edge& e : edges) {
+    if (!g.has_directed_edge(e.u, e.v)) continue;  // unlabeled: skip
+    acc.add(static_cast<double>(g.out_degree(e.u)),
+            static_cast<double>(g.in_degree(e.v)));
+  }
+  return acc.value();
+}
+
+}  // namespace frontier

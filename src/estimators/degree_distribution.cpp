@@ -1,0 +1,43 @@
+#include "estimators/degree_distribution.hpp"
+
+namespace frontier {
+
+std::vector<double> estimate_degree_distribution(const Graph& g,
+                                                 std::span<const Edge> edges,
+                                                 DegreeKind kind) {
+  std::vector<double> weighted;  // Σ 1/deg(v_i) per degree bucket
+  double s = 0.0;
+  for (const Edge& e : edges) {
+    const double inv_deg = 1.0 / static_cast<double>(g.degree(e.v));
+    s += inv_deg;
+    const std::uint32_t d = degree_of(g, e.v, kind);
+    if (d >= weighted.size()) weighted.resize(d + 1, 0.0);
+    weighted[d] += inv_deg;
+  }
+  if (s > 0.0) {
+    for (double& w : weighted) w /= s;
+  }
+  return weighted;
+}
+
+std::vector<double> estimate_degree_distribution_uniform(
+    const Graph& g, std::span<const VertexId> vertices, DegreeKind kind) {
+  std::vector<double> counts;
+  for (VertexId v : vertices) {
+    const std::uint32_t d = degree_of(g, v, kind);
+    if (d >= counts.size()) counts.resize(d + 1, 0.0);
+    counts[d] += 1.0;
+  }
+  if (!vertices.empty()) {
+    for (double& c : counts) c /= static_cast<double>(vertices.size());
+  }
+  return counts;
+}
+
+std::vector<double> estimate_degree_ccdf(const Graph& g,
+                                         std::span<const Edge> edges,
+                                         DegreeKind kind) {
+  return ccdf_from_pdf(estimate_degree_distribution(g, edges, kind));
+}
+
+}  // namespace frontier

@@ -1,0 +1,34 @@
+// Degree-distribution estimators.
+//
+// Walk/edge samples: eq. 7 specialized per degree value — one accumulation
+// pass fills θ̂ for every i simultaneously (the per-i indicator functions
+// partition the samples, so a histogram of 1/deg(v_i) weights keyed by the
+// degree of interest is exactly the batched estimator).
+//
+// Uniform vertex samples: the plain empirical degree histogram.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+
+namespace frontier {
+
+/// θ̂ from random-walk or random-edge sampled edges (eq. 7 batched over all
+/// degrees). theta_hat[i] estimates the fraction of vertices whose
+/// `kind`-degree equals i. Sized to the largest observed degree + 1.
+[[nodiscard]] std::vector<double> estimate_degree_distribution(
+    const Graph& g, std::span<const Edge> edges, DegreeKind kind);
+
+/// θ̂ from uniform vertex samples (empirical histogram).
+[[nodiscard]] std::vector<double> estimate_degree_distribution_uniform(
+    const Graph& g, std::span<const VertexId> vertices, DegreeKind kind);
+
+/// Convenience: estimate θ̂ then return its CCDF γ̂ (eq. 2's γ).
+[[nodiscard]] std::vector<double> estimate_degree_ccdf(
+    const Graph& g, std::span<const Edge> edges, DegreeKind kind);
+
+}  // namespace frontier

@@ -1,0 +1,80 @@
+#include "estimators/density.hpp"
+
+namespace frontier {
+
+double estimate_edge_label_density(
+    std::span<const Edge> edges,
+    const std::function<bool(const Edge&)>& labeled,
+    const std::function<bool(const Edge&)>& has_label) {
+  std::uint64_t b_star = 0;
+  std::uint64_t hits = 0;
+  for (const Edge& e : edges) {
+    if (!labeled(e)) continue;
+    ++b_star;
+    if (has_label(e)) ++hits;
+  }
+  return b_star == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(b_star);
+}
+
+double estimate_vertex_label_density(
+    const Graph& g, std::span<const Edge> edges,
+    const std::function<bool(VertexId)>& pred) {
+  if (edges.empty()) return 0.0;
+  double s = 0.0;
+  double weighted_hits = 0.0;
+  for (const Edge& e : edges) {
+    const double inv_deg = 1.0 / static_cast<double>(g.degree(e.v));
+    s += inv_deg;
+    if (pred(e.v)) weighted_hits += inv_deg;
+  }
+  return s == 0.0 ? 0.0 : weighted_hits / s;
+}
+
+double estimate_vertex_label_density_uniform(
+    std::span<const VertexId> vertices,
+    const std::function<bool(VertexId)>& pred) {
+  if (vertices.empty()) return 0.0;
+  std::uint64_t hits = 0;
+  for (VertexId v : vertices) {
+    if (pred(v)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(vertices.size());
+}
+
+std::vector<double> estimate_group_densities(
+    const Graph& g, std::span<const Edge> edges,
+    const std::function<std::span<const std::uint32_t>(VertexId)>& groups_of,
+    std::size_t num_groups) {
+  std::vector<double> weighted(num_groups, 0.0);
+  double s = 0.0;
+  for (const Edge& e : edges) {
+    const double inv_deg = 1.0 / static_cast<double>(g.degree(e.v));
+    s += inv_deg;
+    for (std::uint32_t grp : groups_of(e.v)) {
+      if (grp < num_groups) weighted[grp] += inv_deg;  // others untracked
+    }
+  }
+  if (s > 0.0) {
+    for (double& w : weighted) w /= s;
+  }
+  return weighted;
+}
+
+std::vector<double> estimate_group_densities_uniform(
+    std::span<const VertexId> vertices,
+    const std::function<std::span<const std::uint32_t>(VertexId)>& groups_of,
+    std::size_t num_groups) {
+  std::vector<double> counts(num_groups, 0.0);
+  for (VertexId v : vertices) {
+    for (std::uint32_t grp : groups_of(v)) {
+      if (grp < num_groups) counts[grp] += 1.0;
+    }
+  }
+  if (!vertices.empty()) {
+    for (double& c : counts) c /= static_cast<double>(vertices.size());
+  }
+  return counts;
+}
+
+}  // namespace frontier

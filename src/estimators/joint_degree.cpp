@@ -1,0 +1,68 @@
+#include "estimators/joint_degree.hpp"
+
+#include <cmath>
+
+namespace frontier {
+
+void JointDegreeEstimate::absorb(const Graph& g, const Edge& e) {
+  if (!g.has_directed_edge(e.u, e.v)) return;
+  ++cells_[{g.out_degree(e.u), g.in_degree(e.v)}];
+  ++count_;
+}
+
+double JointDegreeEstimate::probability(std::uint32_t out_i,
+                                        std::uint32_t in_j) const {
+  if (count_ == 0) return 0.0;
+  const auto it = cells_.find({out_i, in_j});
+  return it == cells_.end()
+             ? 0.0
+             : static_cast<double>(it->second) / static_cast<double>(count_);
+}
+
+double JointDegreeEstimate::marginal_out(std::uint32_t i) const {
+  if (count_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : cells_) {
+    if (key.first == i) total += n;
+  }
+  return static_cast<double>(total) / static_cast<double>(count_);
+}
+
+double JointDegreeEstimate::marginal_in(std::uint32_t j) const {
+  if (count_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : cells_) {
+    if (key.second == j) total += n;
+  }
+  return static_cast<double>(total) / static_cast<double>(count_);
+}
+
+double JointDegreeEstimate::assortativity() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (const auto& [key, c] : cells_) {
+    const double x = key.first;
+    const double y = key.second;
+    const double w = static_cast<double>(c);
+    sx += w * x;
+    sy += w * y;
+    sxx += w * x * x;
+    syy += w * y * y;
+    sxy += w * x * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+JointDegreeEstimate estimate_joint_degree(const Graph& g,
+                                          std::span<const Edge> edges) {
+  JointDegreeEstimate est;
+  for (const Edge& e : edges) est.absorb(g, e);
+  return est;
+}
+
+}  // namespace frontier

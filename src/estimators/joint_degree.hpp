@@ -1,0 +1,56 @@
+// Joint degree (degree–degree) distribution estimator — the p̂_ij table of
+// Section 4.2.2, kept sparse. Each sampled symmetric edge (u,v) that exists
+// in E_d carries the label (outdeg(u), indeg(v)); p̂_ij is the empirical
+// fraction of labeled samples with label (i,j) (eq. 5 batched over all
+// labels). The assortativity coefficient, the marginals q̂ and their
+// standard deviations all derive from it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+class JointDegreeEstimate {
+ public:
+  using Key = std::pair<std::uint32_t, std::uint32_t>;  ///< (out i, in j)
+
+  /// Absorbs one sampled symmetric edge; ignores edges not in E_d.
+  void absorb(const Graph& g, const Edge& e);
+
+  /// Number of labeled samples B* absorbed.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// p̂_ij (0 if unseen).
+  [[nodiscard]] double probability(std::uint32_t out_i,
+                                   std::uint32_t in_j) const;
+
+  /// Marginal q̂^out_i = Σ_j p̂_ij.
+  [[nodiscard]] double marginal_out(std::uint32_t i) const;
+  /// Marginal q̂^in_j = Σ_i p̂_ij.
+  [[nodiscard]] double marginal_in(std::uint32_t j) const;
+
+  /// The assortativity coefficient computed from the table (equals the
+  /// moment-based estimate_assortativity on the same samples).
+  [[nodiscard]] double assortativity() const;
+
+  /// Sparse read access for reporting.
+  [[nodiscard]] const std::map<Key, std::uint64_t>& cells() const noexcept {
+    return cells_;
+  }
+
+ private:
+  std::map<Key, std::uint64_t> cells_;
+  std::uint64_t count_ = 0;
+};
+
+/// Builds the table from a sample sequence in one pass.
+[[nodiscard]] JointDegreeEstimate estimate_joint_degree(
+    const Graph& g, std::span<const Edge> edges);
+
+}  // namespace frontier

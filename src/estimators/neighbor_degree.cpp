@@ -1,0 +1,25 @@
+#include "estimators/neighbor_degree.hpp"
+
+namespace frontier {
+
+std::vector<double> estimate_average_neighbor_degree(
+    const Graph& g, std::span<const Edge> edges) {
+  std::vector<double> sum;
+  std::vector<std::uint64_t> count;
+  for (const Edge& e : edges) {
+    const std::uint32_t k = g.degree(e.u);
+    if (k >= sum.size()) {
+      sum.resize(k + 1, 0.0);
+      count.resize(k + 1, 0);
+    }
+    sum[k] += static_cast<double>(g.degree(e.v));
+    ++count[k];
+  }
+  std::vector<double> knn(sum.size(), 0.0);
+  for (std::size_t k = 0; k < sum.size(); ++k) {
+    if (count[k] > 0) knn[k] = sum[k] / static_cast<double>(count[k]);
+  }
+  return knn;
+}
+
+}  // namespace frontier

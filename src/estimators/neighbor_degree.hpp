@@ -1,0 +1,21 @@
+// Average-neighbor-degree curve estimator.
+//
+// knn(k) = E[deg(u) | deg(v) = k] over uniformly sampled symmetric edges
+// (v, u) — exactly the conditional a stationary RW/FS/RE sample estimates
+// with *no* reweighting: bucket the samples by deg(u_i) of the walked-from
+// endpoint and average deg(v_i) of the walked-to endpoint.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+/// knn-hat indexed by symmetric degree; 0 where no sample landed.
+[[nodiscard]] std::vector<double> estimate_average_neighbor_degree(
+    const Graph& g, std::span<const Edge> edges);
+
+}  // namespace frontier

@@ -1,0 +1,45 @@
+#include "experiments/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace frontier {
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return end == raw ? fallback : value;
+}
+
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  return end == raw ? fallback : static_cast<std::uint64_t>(value);
+}
+
+ExperimentConfig ExperimentConfig::from_env() {
+  ExperimentConfig cfg;
+  cfg.runs_multiplier = std::max(0.0, env_double("FS_RUNS", 1.0));
+  cfg.scale_multiplier = std::max(0.0, env_double("FS_SCALE", 1.0));
+  cfg.threads = static_cast<std::size_t>(env_u64("FS_THREADS", 0));
+  cfg.seed = env_u64("FS_SEED", 20100907);
+  return cfg;
+}
+
+std::size_t ExperimentConfig::runs(std::size_t base_runs) const {
+  const double scaled =
+      static_cast<double>(base_runs) * std::max(0.001, runs_multiplier);
+  return std::max<std::size_t>(4, static_cast<std::size_t>(scaled));
+}
+
+std::size_t ExperimentConfig::scaled(std::size_t base_size) const {
+  const double scaled =
+      static_cast<double>(base_size) * std::max(0.001, scale_multiplier);
+  return std::max<std::size_t>(64, static_cast<std::size_t>(scaled));
+}
+
+}  // namespace frontier

@@ -1,0 +1,39 @@
+// Environment-driven experiment scaling.
+//
+// The paper averages over 10,000 runs on multi-million-vertex crawls; the
+// default bench configuration scales this down so the whole suite finishes
+// in minutes on a laptop. Override per run:
+//   FS_RUNS    — multiplier on Monte-Carlo replication counts (default 1.0)
+//   FS_SCALE   — multiplier on surrogate graph sizes         (default 1.0)
+//   FS_THREADS — worker threads (default: hardware concurrency)
+//   FS_SEED    — master seed (default 20100907, the arXiv v2 date)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace frontier {
+
+struct ExperimentConfig {
+  double runs_multiplier = 1.0;
+  double scale_multiplier = 1.0;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::uint64_t seed = 20100907;
+
+  /// Reads FS_RUNS / FS_SCALE / FS_THREADS / FS_SEED from the environment.
+  [[nodiscard]] static ExperimentConfig from_env();
+
+  /// base_runs scaled by runs_multiplier, at least 4.
+  [[nodiscard]] std::size_t runs(std::size_t base_runs) const;
+
+  /// base_size scaled by scale_multiplier, at least 64.
+  [[nodiscard]] std::size_t scaled(std::size_t base_size) const;
+};
+
+/// Parses a double/integer environment variable; returns fallback when the
+/// variable is unset or unparsable.
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+[[nodiscard]] std::uint64_t env_u64(const std::string& name,
+                                    std::uint64_t fallback);
+
+}  // namespace frontier

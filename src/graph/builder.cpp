@@ -1,0 +1,91 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace frontier {
+
+GraphBuilder::GraphBuilder(std::size_t num_vertices) : n_(num_vertices) {
+  if (num_vertices > static_cast<std::size_t>(kInvalidVertex)) {
+    throw std::invalid_argument("GraphBuilder: too many vertices");
+  }
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u >= n_ || v >= n_) {
+    throw std::out_of_range("GraphBuilder::add_edge: vertex id out of range");
+  }
+  edges_.push_back(Edge{u, v});
+}
+
+void GraphBuilder::add_undirected_edge(VertexId u, VertexId v) {
+  add_edge(u, v);
+  add_edge(v, u);
+}
+
+Graph GraphBuilder::build() const {
+  // Work on a sorted, deduplicated copy of the directed edge list with
+  // self-loops removed.
+  std::vector<Edge> dir;
+  dir.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (e.u != e.v) dir.push_back(e);
+  }
+  std::sort(dir.begin(), dir.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+
+  Graph g;
+  g.num_directed_edges_ = dir.size();
+  g.out_degree_.assign(n_, 0);
+  g.in_degree_.assign(n_, 0);
+  for (const Edge& e : dir) {
+    ++g.out_degree_[e.u];
+    ++g.in_degree_[e.v];
+  }
+
+  // Symmetric adjacency: emit each directed edge in both orientations,
+  // tagged with its direction relative to the emitting endpoint, then merge
+  // per (source, target) pair.
+  struct Entry {
+    VertexId src;
+    VertexId dst;
+    std::uint8_t dir;  // bit 0: forward (src->dst in E_d); bit 1: backward
+  };
+  std::vector<Entry> entries;
+  entries.reserve(dir.size() * 2);
+  for (const Edge& e : dir) {
+    entries.push_back({e.u, e.v, 1});
+    entries.push_back({e.v, e.u, 2});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+
+  g.offsets_.assign(n_ + 1, 0);
+  g.neighbors_.clear();
+  g.directions_.clear();
+  g.neighbors_.reserve(entries.size());
+  g.directions_.reserve(entries.size());
+
+  std::size_t i = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    g.offsets_[v] = g.neighbors_.size();
+    while (i < entries.size() && entries[i].src == v) {
+      const VertexId dst = entries[i].dst;
+      std::uint8_t flags = 0;
+      while (i < entries.size() && entries[i].src == v &&
+             entries[i].dst == dst) {
+        flags |= entries[i].dir;
+        ++i;
+      }
+      g.neighbors_.push_back(dst);
+      g.directions_.push_back(static_cast<EdgeDir>(flags));
+    }
+  }
+  g.offsets_[n_] = g.neighbors_.size();
+  return g;
+}
+
+}  // namespace frontier

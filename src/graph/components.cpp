@@ -1,0 +1,122 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace frontier {
+
+std::uint32_t ComponentInfo::largest() const {
+  if (size.empty()) throw std::logic_error("ComponentInfo: no components");
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < size.size(); ++c) {
+    if (size[c] > size[best]) best = c;
+  }
+  return best;
+}
+
+ComponentInfo connected_components(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  ComponentInfo info;
+  info.component_of.assign(n, ~std::uint32_t{0});
+
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (info.component_of[start] != ~std::uint32_t{0}) continue;
+    const auto cid = static_cast<std::uint32_t>(info.size.size());
+    info.size.push_back(0);
+    info.volume.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    info.component_of[start] = cid;
+    while (!queue.empty()) {
+      const VertexId v = queue.back();
+      queue.pop_back();
+      ++info.size[cid];
+      info.volume[cid] += g.degree(v);
+      for (VertexId w : g.neighbors(v)) {
+        if (info.component_of[w] == ~std::uint32_t{0}) {
+          info.component_of[w] = cid;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return false;
+  return connected_components(g).num_components() == 1;
+}
+
+bool is_bipartite(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::int8_t> color(n, -1);
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (color[start] != -1) continue;
+    color[start] = 0;
+    queue.clear();
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const VertexId v = queue.back();
+      queue.pop_back();
+      for (VertexId w : g.neighbors(v)) {
+        if (color[w] == -1) {
+          color[w] = static_cast<std::int8_t>(1 - color[v]);
+          queue.push_back(w);
+        } else if (color[w] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Subgraph induced_subgraph(const Graph& g, std::span<const VertexId> vertices) {
+  std::vector<VertexId> new_id(g.num_vertices(), kInvalidVertex);
+  Subgraph out;
+  out.original_id.assign(vertices.begin(), vertices.end());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    if (v >= g.num_vertices()) {
+      throw std::out_of_range("induced_subgraph: vertex id out of range");
+    }
+    if (new_id[v] != kInvalidVertex) {
+      throw std::invalid_argument("induced_subgraph: duplicate vertex id");
+    }
+    new_id[v] = static_cast<VertexId>(i);
+  }
+
+  GraphBuilder builder(vertices.size());
+  for (VertexId v : vertices) {
+    const auto nbrs = g.neighbors(v);
+    const auto dirs = g.directions(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId w = nbrs[k];
+      if (new_id[w] == kInvalidVertex) continue;
+      const EdgeDir d = dirs[k];
+      if (d == EdgeDir::kForward || d == EdgeDir::kBoth) {
+        builder.add_edge(new_id[v], new_id[w]);
+      }
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+Subgraph largest_connected_component(const Graph& g) {
+  const ComponentInfo info = connected_components(g);
+  const std::uint32_t lcc = info.largest();
+  std::vector<VertexId> vertices;
+  vertices.reserve(info.size[lcc]);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (info.component_of[v] == lcc) vertices.push_back(v);
+  }
+  return induced_subgraph(g, vertices);
+}
+
+}  // namespace frontier

@@ -1,0 +1,54 @@
+// Connected components of the symmetric graph G, LCC extraction, and
+// induced subgraphs. The paper evaluates both complete (disconnected)
+// graphs and their largest connected components (Figures 4 vs 5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+struct ComponentInfo {
+  /// Component id per vertex, in [0, num_components).
+  std::vector<std::uint32_t> component_of;
+  /// Vertex count per component.
+  std::vector<std::uint64_t> size;
+  /// Volume (sum of symmetric degrees) per component.
+  std::vector<std::uint64_t> volume;
+
+  [[nodiscard]] std::size_t num_components() const noexcept {
+    return size.size();
+  }
+  /// Id of the largest component (most vertices; ties -> smallest id).
+  [[nodiscard]] std::uint32_t largest() const;
+};
+
+/// BFS-based connected components over the symmetric adjacency.
+[[nodiscard]] ComponentInfo connected_components(const Graph& g);
+
+/// True iff G is connected (and non-empty).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True iff the symmetric graph is bipartite (2-colorable). Random-walk
+/// stationarity requires non-bipartite G (Section 4).
+[[nodiscard]] bool is_bipartite(const Graph& g);
+
+/// Result of an induced-subgraph extraction: the subgraph plus the mapping
+/// from new ids back to the original ids.
+struct Subgraph {
+  Graph graph;
+  std::vector<VertexId> original_id;  // new id -> old id
+};
+
+/// Subgraph induced by `vertices` (directed edges preserved, with their
+/// original orientation). Duplicate ids are an error.
+[[nodiscard]] Subgraph induced_subgraph(const Graph& g,
+                                        std::span<const VertexId> vertices);
+
+/// Subgraph induced by the largest connected component.
+[[nodiscard]] Subgraph largest_connected_component(const Graph& g);
+
+}  // namespace frontier

@@ -1,0 +1,106 @@
+#include "graph/distance.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace frontier {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  if (source >= g.num_vertices()) {
+    throw std::out_of_range("bfs_distances: source out of range");
+  }
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    const std::uint32_t next = dist[v] + 1;
+    for (VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = next;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, VertexId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t worst = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+std::uint32_t pseudo_diameter(const Graph& g, VertexId seed) {
+  if (g.num_vertices() == 0) return 0;
+  const auto first = bfs_distances(g, seed);
+  VertexId far = seed;
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (first[v] != kUnreachable && first[v] > best) {
+      best = first[v];
+      far = v;
+    }
+  }
+  return eccentricity(g, far);
+}
+
+DistanceStats distance_statistics(const Graph& g, std::size_t sources,
+                                  Rng& rng) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  std::vector<VertexId> picks;
+  if (sources == 0 || sources >= n) {
+    picks.resize(n);
+    for (VertexId v = 0; v < n; ++v) picks[v] = v;
+  } else {
+    picks.reserve(sources);
+    for (std::size_t i = 0; i < sources; ++i) {
+      picks.push_back(static_cast<VertexId>(uniform_index(rng, n)));
+    }
+  }
+
+  DistanceStats stats;
+  stats.sampled_sources = picks.size();
+  std::vector<std::uint64_t> histogram;
+  double total = 0.0;
+  for (VertexId s : picks) {
+    const auto dist = bfs_distances(g, s);
+    for (VertexId v = 0; v < n; ++v) {
+      const std::uint32_t d = dist[v];
+      if (d == kUnreachable || v == s) continue;
+      if (d >= histogram.size()) histogram.resize(d + 1, 0);
+      ++histogram[d];
+      total += d;
+      ++stats.reachable_pairs;
+      stats.max_seen = std::max(stats.max_seen, d);
+    }
+  }
+  if (stats.reachable_pairs == 0) return stats;
+  stats.mean = total / static_cast<double>(stats.reachable_pairs);
+
+  // Effective diameter: smallest d such that >= 90% of reachable sampled
+  // pairs are within distance d (with linear interpolation).
+  const double target = 0.9 * static_cast<double>(stats.reachable_pairs);
+  std::uint64_t cum = 0;
+  for (std::size_t d = 0; d < histogram.size(); ++d) {
+    const std::uint64_t prev = cum;
+    cum += histogram[d];
+    if (static_cast<double>(cum) >= target) {
+      const double need = target - static_cast<double>(prev);
+      const double frac =
+          histogram[d] == 0 ? 0.0 : need / static_cast<double>(histogram[d]);
+      stats.effective_diameter = static_cast<double>(d) - 1.0 + frac;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace frontier

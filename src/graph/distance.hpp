@@ -1,0 +1,44 @@
+// BFS distances and distance summaries over the symmetric graph G.
+// Supporting tooling for diagnosing walker trapping: a large (effective)
+// diameter or a far-away mass of vertices is exactly what a budgeted
+// random walk cannot reach from a bad start.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "random/rng.hpp"
+
+namespace frontier {
+
+/// Unreachable marker in distance vectors.
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+/// BFS hop distances from `source` (kUnreachable where disconnected).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       VertexId source);
+
+/// Largest finite distance from `source` (its eccentricity).
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, VertexId source);
+
+/// Lower bound on the diameter by the standard double-sweep heuristic:
+/// BFS from `seed`, then BFS again from the farthest vertex found.
+[[nodiscard]] std::uint32_t pseudo_diameter(const Graph& g, VertexId seed = 0);
+
+struct DistanceStats {
+  double mean = 0.0;           ///< mean finite pairwise distance (sampled)
+  std::uint32_t max_seen = 0;  ///< largest distance among sampled pairs
+  double effective_diameter = 0.0;  ///< 90th percentile of sampled distances
+  std::uint64_t reachable_pairs = 0;
+  std::uint64_t sampled_sources = 0;
+};
+
+/// Distance summary via BFS from `sources` uniformly sampled vertices
+/// (exact over the chosen sources). sources = 0 means every vertex
+/// (exact all-pairs; O(|V|·|E|), small graphs only).
+[[nodiscard]] DistanceStats distance_statistics(const Graph& g,
+                                                std::size_t sources,
+                                                Rng& rng);
+
+}  // namespace frontier

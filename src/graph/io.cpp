@@ -1,0 +1,159 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace frontier {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x46524f4e54474230ULL;  // "FRONTGB0"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw IoError("read_binary: truncated stream");
+  return value;
+}
+
+std::ifstream open_in(const std::string& path, std::ios_base::openmode mode) {
+  std::ifstream f(path, mode);
+  if (!f) throw IoError("cannot open for reading: " + path);
+  return f;
+}
+
+std::ofstream open_out(const std::string& path, std::ios_base::openmode mode) {
+  std::ofstream f(path, mode);
+  if (!f) throw IoError("cannot open for writing: " + path);
+  return f;
+}
+
+}  // namespace
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << "# libfrontier directed edge list: " << g.num_vertices()
+     << " vertices, " << g.num_directed_edges() << " directed edges\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto dirs = g.directions(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const EdgeDir d = dirs[k];
+      if (d == EdgeDir::kForward || d == EdgeDir::kBoth) {
+        os << u << ' ' << nbrs[k] << '\n';
+      }
+    }
+  }
+  if (!os) throw IoError("write_edge_list: stream failure");
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  auto f = open_out(path, std::ios_base::out);
+  write_edge_list(g, f);
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) {
+      throw IoError("read_edge_list: parse error at line " +
+                    std::to_string(lineno));
+    }
+    raw.emplace_back(a, b);
+  }
+
+  // Densify by *numeric order* so graphs written by write_edge_list (which
+  // are already dense) round-trip with identical vertex ids.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(raw.size() * 2);
+  for (const auto& [a, b] : raw) {
+    ids.push_back(a);
+    ids.push_back(b);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::unordered_map<std::uint64_t, VertexId> dense;
+  dense.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    dense.emplace(ids[i], static_cast<VertexId>(i));
+  }
+
+  GraphBuilder builder(ids.size());
+  for (const auto& [a, b] : raw) {
+    builder.add_edge(dense.at(a), dense.at(b));
+  }
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  auto f = open_in(path, std::ios_base::in);
+  return read_edge_list(f);
+}
+
+void write_binary(const Graph& g, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod<std::uint32_t>(os, 1);  // format version
+  write_pod<std::uint64_t>(os, g.num_vertices());
+  write_pod<std::uint64_t>(os, g.num_directed_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto dirs = g.directions(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const EdgeDir d = dirs[k];
+      if (d == EdgeDir::kForward || d == EdgeDir::kBoth) {
+        write_pod<std::uint32_t>(os, u);
+        write_pod<std::uint32_t>(os, nbrs[k]);
+      }
+    }
+  }
+  if (!os) throw IoError("write_binary: stream failure");
+}
+
+void write_binary_file(const Graph& g, const std::string& path) {
+  auto f = open_out(path, std::ios_base::out | std::ios_base::binary);
+  write_binary(g, f);
+}
+
+Graph read_binary(std::istream& is) {
+  if (read_pod<std::uint64_t>(is) != kMagic) {
+    throw IoError("read_binary: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != 1) throw IoError("read_binary: unsupported version");
+  const auto n = read_pod<std::uint64_t>(is);
+  const auto m = read_pod<std::uint64_t>(is);
+  GraphBuilder builder(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto u = read_pod<std::uint32_t>(is);
+    const auto v = read_pod<std::uint32_t>(is);
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph read_binary_file(const std::string& path) {
+  auto f = open_in(path, std::ios_base::in | std::ios_base::binary);
+  return read_binary(f);
+}
+
+}  // namespace frontier

@@ -1,0 +1,36 @@
+// Graph persistence: whitespace-separated edge-list text (one directed edge
+// "u v" per line, '#' comments) and a compact binary snapshot.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+/// Error for malformed files / failed streams.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes the directed edge list of g ("u v" per line).
+void write_edge_list(const Graph& g, std::ostream& os);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Reads a directed edge list. Vertex ids may be arbitrary (sparse)
+/// non-negative integers; they are densified in first-appearance order.
+/// Throws IoError on parse failure.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+[[nodiscard]] Graph read_edge_list_file(const std::string& path);
+
+/// Binary snapshot (magic + version + CSR arrays); ~4x smaller and ~20x
+/// faster to load than text for large graphs.
+void write_binary(const Graph& g, std::ostream& os);
+void write_binary_file(const Graph& g, const std::string& path);
+[[nodiscard]] Graph read_binary(std::istream& is);
+[[nodiscard]] Graph read_binary_file(const std::string& path);
+
+}  // namespace frontier

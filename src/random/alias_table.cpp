@@ -1,0 +1,65 @@
+#include "random/alias_table.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace frontier {
+
+AliasTable::AliasTable(std::span<const double> weights)
+    : weight_(weights.begin(), weights.end()) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weight vector");
+  total_ = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable: weights must be finite and >= 0");
+    }
+    total_ += w;
+  }
+  if (total_ <= 0.0) {
+    throw std::invalid_argument("AliasTable: total weight must be positive");
+  }
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's stable construction: split buckets into under/over-full work
+  // lists, repeatedly pair an under-full with an over-full bucket.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total_;
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining buckets are (up to rounding) exactly full.
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+std::size_t AliasTable::sample(Rng& rng) const noexcept {
+  const std::size_t i = uniform_index(rng, prob_.size());
+  return uniform01(rng) < prob_[i] ? i : alias_[i];
+}
+
+double AliasTable::probability(std::size_t i) const {
+  return weight_.at(i) / total_;
+}
+
+}  // namespace frontier

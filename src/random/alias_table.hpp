@@ -1,0 +1,43 @@
+// Walker's alias method: O(1) sampling from a fixed discrete distribution.
+//
+// Used for degree-proportional vertex starts (Fig. 11 of the paper) and as
+// the static strategy in the FrontierSampler ablation. Construction is O(n);
+// each draw costs one RNG call, one table lookup and one comparison.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "random/rng.hpp"
+
+namespace frontier {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights. At least one weight must be
+  /// positive; throws std::invalid_argument otherwise.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index i with probability weights[i] / sum(weights).
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+
+  /// Total weight the table was built from.
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+
+  /// Exact sampling probability of index i (for tests).
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;  // fallback index per bucket
+  std::vector<double> weight_;      // original weights (for probability())
+  double total_ = 0.0;
+};
+
+}  // namespace frontier

@@ -1,0 +1,53 @@
+// Fenwick-indexed dynamic weighted sampling.
+//
+// FrontierSampler selects the walker to advance with probability
+// proportional to the degree of its current vertex (Algorithm 1, line 4);
+// after the step, that walker's weight changes. A Fenwick (binary indexed)
+// tree supports weight updates and cumulative-weight inversion in O(log m),
+// giving O(log m) per FS step versus O(m) for rebuilding an alias table.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "random/rng.hpp"
+
+namespace frontier {
+
+class WeightedTree {
+ public:
+  WeightedTree() = default;
+
+  /// Builds the tree over `n` slots, all weights zero.
+  explicit WeightedTree(std::size_t n);
+
+  /// Builds the tree from initial non-negative weights.
+  explicit WeightedTree(std::span<const double> weights);
+
+  /// Sets the weight of slot i (>= 0). O(log n).
+  void set(std::size_t i, double w);
+
+  /// Current weight of slot i. O(log n).
+  [[nodiscard]] double get(std::size_t i) const;
+
+  /// Sum of all weights. O(1).
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return weights_.size(); }
+
+  /// Draws slot i with probability get(i)/total(). Requires total() > 0;
+  /// throws std::logic_error otherwise. O(log n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Largest index such that the prefix sum before it is <= target.
+  /// Exposed for testing; `target` must lie in [0, total()).
+  [[nodiscard]] std::size_t find_prefix(double target) const noexcept;
+
+ private:
+  std::vector<double> tree_;     // 1-based Fenwick array
+  std::vector<double> weights_;  // mirror of current weights
+  double total_ = 0.0;
+};
+
+}  // namespace frontier

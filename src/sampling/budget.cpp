@@ -1,0 +1,19 @@
+#include "sampling/budget.hpp"
+
+#include <cmath>
+
+namespace frontier {
+
+std::uint64_t multiple_rw_steps_per_walker(double budget, std::size_t m,
+                                           double jump_cost) {
+  if (m == 0) return 0;
+  const double steps = std::floor(budget / static_cast<double>(m) - jump_cost);
+  return steps <= 0.0 ? 0 : static_cast<std::uint64_t>(steps);
+}
+
+std::uint64_t frontier_steps(double budget, std::size_t m, double jump_cost) {
+  const double steps = budget - static_cast<double>(m) * jump_cost;
+  return steps <= 0.0 ? 0 : static_cast<std::uint64_t>(steps);
+}
+
+}  // namespace frontier

@@ -1,0 +1,80 @@
+#include "sampling/coverage.hpp"
+
+#include <algorithm>
+
+namespace frontier {
+
+CoverageCurve coverage_curve(const Graph& g, std::span<const Edge> edges,
+                             std::span<const std::uint64_t> checkpoints) {
+  CoverageCurve curve;
+  curve.checkpoints.assign(checkpoints.begin(), checkpoints.end());
+  std::sort(curve.checkpoints.begin(), curve.checkpoints.end());
+
+  std::vector<bool> vertex_seen(g.num_vertices(), false);
+  // Unordered edge identity: CSR slot index of the (min,max) orientation.
+  std::vector<bool> edge_seen(g.volume(), false);
+  std::uint64_t vertices = 0;
+  std::uint64_t distinct_edges = 0;
+
+  std::size_t next = 0;
+  const auto record_checkpoint = [&](std::uint64_t n) {
+    while (next < curve.checkpoints.size() && curve.checkpoints[next] <= n) {
+      curve.distinct_vertices.push_back(vertices);
+      curve.distinct_edges.push_back(distinct_edges);
+      ++next;
+    }
+  };
+
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    for (VertexId v : {e.u, e.v}) {
+      if (v < g.num_vertices() && !vertex_seen[v]) {
+        vertex_seen[v] = true;
+        ++vertices;
+      }
+    }
+    // Canonical orientation (lo -> hi); find its CSR slot.
+    const VertexId lo = std::min(e.u, e.v);
+    const VertexId hi = std::max(e.u, e.v);
+    const auto nbrs = g.neighbors(lo);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), hi);
+    if (it != nbrs.end() && *it == hi) {
+      const auto slot = static_cast<std::size_t>(
+          g.offsets()[lo] + static_cast<EdgeIndex>(it - nbrs.begin()));
+      if (!edge_seen[slot]) {
+        edge_seen[slot] = true;
+        ++distinct_edges;
+      }
+    }
+    record_checkpoint(i + 1);
+  }
+  // Clamp remaining checkpoints to the final totals.
+  while (next < curve.checkpoints.size()) {
+    curve.distinct_vertices.push_back(vertices);
+    curve.distinct_edges.push_back(distinct_edges);
+    ++next;
+  }
+  return curve;
+}
+
+double vertex_coverage(const Graph& g, std::span<const Edge> edges) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::uint64_t visited = 0;
+  for (const Edge& e : edges) {
+    for (VertexId v : {e.u, e.v}) {
+      if (v < g.num_vertices() && !seen[v]) {
+        seen[v] = true;
+        ++visited;
+      }
+    }
+  }
+  std::uint64_t eligible = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > 0) ++eligible;
+  }
+  return eligible == 0 ? 0.0
+                       : static_cast<double>(visited) /
+                             static_cast<double>(eligible);
+}
+
+}  // namespace frontier

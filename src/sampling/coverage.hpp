@@ -1,0 +1,33 @@
+// Coverage statistics of a sample path: how many distinct vertices /
+// edges a crawl has touched as a function of spent budget. A practical
+// crawl-health metric — a trapped walker's coverage curve flattens early,
+// which is observable *without* ground truth (unlike NMSE).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "sampling/walk.hpp"
+
+namespace frontier {
+
+struct CoverageCurve {
+  std::vector<std::uint64_t> checkpoints;       ///< sample counts
+  std::vector<std::uint64_t> distinct_vertices; ///< |{v_1..v_n}| at each
+  std::vector<std::uint64_t> distinct_edges;    ///< unordered edges seen
+};
+
+/// Coverage of an edge-sample sequence at the given checkpoints (sorted
+/// ascending; counts past the end of the sequence are clamped).
+[[nodiscard]] CoverageCurve coverage_curve(
+    const Graph& g, std::span<const Edge> edges,
+    std::span<const std::uint64_t> checkpoints);
+
+/// Fraction of all non-isolated vertices visited by the full sequence.
+[[nodiscard]] double vertex_coverage(const Graph& g,
+                                     std::span<const Edge> edges);
+
+}  // namespace frontier

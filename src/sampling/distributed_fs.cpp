@@ -1,0 +1,70 @@
+#include "sampling/distributed_fs.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace frontier {
+
+DistributedFrontierSampler::DistributedFrontierSampler(const Graph& g,
+                                                       Config config)
+    : graph_(&g), config_(config), start_sampler_(g, config.start) {
+  if (config_.dimension == 0) {
+    throw std::invalid_argument("DistributedFrontierSampler: m >= 1");
+  }
+  if (config_.stop.max_steps == 0 && config_.stop.time_horizon <= 0.0) {
+    throw std::invalid_argument(
+        "DistributedFrontierSampler: set max_steps or time_horizon");
+  }
+}
+
+SampleRecord DistributedFrontierSampler::run(Rng& rng) const {
+  const Graph& g = *graph_;
+
+  struct Event {
+    double time;
+    std::uint32_t walker;
+  };
+  struct LaterFirst {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time > b.time;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, LaterFirst> queue;
+
+  SampleRecord rec;
+  std::vector<VertexId> position(config_.dimension);
+  for (std::uint32_t w = 0; w < config_.dimension; ++w) {
+    position[w] = start_sampler_.sample(rng);
+    rec.starts.push_back(position[w]);
+    // Walker w's first jump happens after an Exp(deg(v)) holding time.
+    queue.push(Event{
+        exponential(rng, static_cast<double>(g.degree(position[w]))), w});
+  }
+  rec.cost = static_cast<double>(config_.dimension);  // m initial jumps
+
+  double now = 0.0;
+  while (!queue.empty()) {
+    if (config_.stop.max_steps != 0 &&
+        rec.edges.size() >= config_.stop.max_steps) {
+      break;
+    }
+    const Event ev = queue.top();
+    if (config_.stop.time_horizon > 0.0 &&
+        ev.time > config_.stop.time_horizon) {
+      break;
+    }
+    queue.pop();
+    now = ev.time;
+    const VertexId u = position[ev.walker];
+    const VertexId v = step_uniform_neighbor(g, u, rng);
+    rec.edges.push_back(Edge{u, v});
+    position[ev.walker] = v;
+    queue.push(Event{
+        now + exponential(rng, static_cast<double>(g.degree(v))), ev.walker});
+    rec.cost += 1.0;
+  }
+  return rec;
+}
+
+}  // namespace frontier

@@ -1,0 +1,50 @@
+// Distributed Frontier Sampling (Section 5.3, Theorem 5.5).
+//
+// FS can be decentralized with zero coordination: run m *independent*
+// walkers where the cost (holding time) of sampling vertex v is an
+// Exp(deg(v)) random variable. By the uniformization principle, the
+// sequence of jumps across all walkers, ordered by global time, is exactly
+// the centralized FS process: at any instant the next walker to move is
+// walker i with probability deg(v_i)/Σ_j deg(v_j).
+//
+// The simulation uses a binary-heap event queue over walker clocks. With a
+// time horizon instead of a step count, the number of sampled edges is
+// random (it concentrates around horizon * E[frontier degree sum]).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sampling/walk.hpp"
+
+namespace frontier {
+
+class DistributedFrontierSampler {
+ public:
+  struct StopRule {
+    /// Stop after this many jumps across all walkers (0 = unlimited).
+    std::uint64_t max_steps = 0;
+    /// Stop when global time exceeds this horizon (<= 0 = unlimited).
+    /// At least one of the two must be set.
+    double time_horizon = 0.0;
+  };
+
+  struct Config {
+    std::size_t dimension = 10;  ///< m independent walkers
+    StopRule stop;
+    StartMode start = StartMode::kUniform;
+  };
+
+  DistributedFrontierSampler(const Graph& g, Config config);
+
+  /// One run; edges are recorded in global-time order, so the edge sequence
+  /// has the same law as centralized FrontierSampler (Theorem 5.5).
+  [[nodiscard]] SampleRecord run(Rng& rng) const;
+
+ private:
+  const Graph* graph_;
+  Config config_;
+  StartSampler start_sampler_;
+};
+
+}  // namespace frontier

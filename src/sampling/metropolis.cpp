@@ -1,0 +1,37 @@
+#include "sampling/metropolis.hpp"
+
+#include <stdexcept>
+
+namespace frontier {
+
+MetropolisHastingsWalk::MetropolisHastingsWalk(const Graph& g, Config config)
+    : graph_(&g), config_(config), start_sampler_(g, config.start) {
+  if (config_.fixed_start && *config_.fixed_start >= g.num_vertices()) {
+    throw std::out_of_range("MetropolisHastingsWalk: fixed_start out of range");
+  }
+}
+
+SampleRecord MetropolisHastingsWalk::run(Rng& rng) const {
+  const Graph& g = *graph_;
+  SampleRecord rec;
+  VertexId v =
+      config_.fixed_start ? *config_.fixed_start : start_sampler_.sample(rng);
+  rec.starts.push_back(v);
+  rec.vertices.reserve(config_.steps + 1);
+  rec.vertices.push_back(v);
+
+  for (std::uint64_t n = 0; n < config_.steps; ++n) {
+    const VertexId w = step_uniform_neighbor(g, v, rng);
+    const double accept = static_cast<double>(g.degree(v)) /
+                          static_cast<double>(g.degree(w));
+    if (accept >= 1.0 || uniform01(rng) < accept) {
+      rec.edges.push_back(Edge{v, w});
+      v = w;
+    }
+    rec.vertices.push_back(v);
+  }
+  rec.cost = static_cast<double>(config_.steps) + 1.0;
+  return rec;
+}
+
+}  // namespace frontier

@@ -1,0 +1,39 @@
+// Metropolis–Hastings random walk (related-work baseline, Section 7).
+//
+// MH-RW targets the *uniform* distribution over vertices: from v, propose a
+// uniform neighbor w and accept with probability min(1, deg(v)/deg(w));
+// otherwise stay at v. Every step (accepted or not) emits one vertex
+// sample, so the visit sequence is asymptotically uniform over V and plain
+// empirical averages are unbiased. The paper cites experiments [15, 29]
+// showing MH-RW is usually less accurate than the reweighted plain RW.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "sampling/walk.hpp"
+
+namespace frontier {
+
+class MetropolisHastingsWalk {
+ public:
+  struct Config {
+    std::uint64_t steps = 0;
+    StartMode start = StartMode::kUniform;
+    std::optional<VertexId> fixed_start;
+  };
+
+  MetropolisHastingsWalk(const Graph& g, Config config);
+
+  /// One run; `vertices` holds the visit sequence (steps+1 entries,
+  /// including the start), `edges` the accepted transitions.
+  [[nodiscard]] SampleRecord run(Rng& rng) const;
+
+ private:
+  const Graph* graph_;
+  Config config_;
+  StartSampler start_sampler_;
+};
+
+}  // namespace frontier

@@ -1,0 +1,29 @@
+#include "sampling/multiple_rw.hpp"
+
+#include <stdexcept>
+
+namespace frontier {
+
+MultipleRandomWalks::MultipleRandomWalks(const Graph& g, Config config)
+    : graph_(&g), config_(config), start_sampler_(g, config.start) {
+  if (config_.num_walkers == 0) {
+    throw std::invalid_argument("MultipleRandomWalks: num_walkers >= 1");
+  }
+}
+
+SampleRecord MultipleRandomWalks::run(Rng& rng) const {
+  SampleRecord rec;
+  rec.starts.reserve(config_.num_walkers);
+  rec.edges.reserve(config_.num_walkers * config_.steps_per_walker);
+  for (std::size_t w = 0; w < config_.num_walkers; ++w) {
+    const VertexId start = start_sampler_.sample(rng);
+    rec.starts.push_back(start);
+    walk_from(*graph_, start, config_.steps_per_walker, rng, rec.edges);
+  }
+  rec.cost = static_cast<double>(config_.num_walkers) *
+             (static_cast<double>(config_.steps_per_walker) +
+              config_.jump_cost);
+  return rec;
+}
+
+}  // namespace frontier

@@ -1,0 +1,34 @@
+// Random (independent, uniform, with replacement) edge sampling.
+//
+// Samples ordered symmetric edges uniformly from E. Each valid edge sample
+// costs `edge_cost` (2 by default — an edge query resolves two vertices,
+// Section 6.4) and attempts succeed with probability `hit_ratio`.
+// Rarely practical on real networks (Section 1) but the key analytical
+// comparator: Section 3 shows RE beats RV on the degree-distribution tail,
+// and stationary RW/FS inherit RE's statistical behaviour.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sampling/walk.hpp"
+
+namespace frontier {
+
+class RandomEdgeSampler {
+ public:
+  struct Config {
+    double budget = 0.0;
+    double edge_cost = 2.0;  ///< cost per attempt
+    double hit_ratio = 1.0;  ///< fraction of attempts that are valid
+  };
+
+  RandomEdgeSampler(const Graph& g, Config config);
+
+  /// One run; `edges` holds the valid samples (uniform over ordered E).
+  [[nodiscard]] SampleRecord run(Rng& rng) const;
+
+ private:
+  const Graph* graph_;
+  Config config_;
+};
+
+}  // namespace frontier

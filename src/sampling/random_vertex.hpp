@@ -1,0 +1,31 @@
+// Random (independent, uniform, with replacement) vertex sampling under the
+// sparse-user-id cost model of Sections 1, 3 and 6.4: each query attempt
+// costs `jump_cost` and succeeds with probability `hit_ratio`.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sampling/budget.hpp"
+#include "sampling/walk.hpp"
+
+namespace frontier {
+
+class RandomVertexSampler {
+ public:
+  struct Config {
+    double budget = 0.0;  ///< B; sampling stops when the next attempt
+                          ///< cannot be paid for
+    CostModel cost;       ///< jump_cost per attempt, hit_ratio of validity
+  };
+
+  RandomVertexSampler(const Graph& g, Config config);
+
+  /// One run; `vertices` holds the valid samples, `cost` what was spent
+  /// (valid + missed attempts).
+  [[nodiscard]] SampleRecord run(Rng& rng) const;
+
+ private:
+  const Graph* graph_;
+  Config config_;
+};
+
+}  // namespace frontier

@@ -1,0 +1,60 @@
+#include "sampling/random_walk_with_jumps.hpp"
+
+#include <stdexcept>
+
+namespace frontier {
+
+RandomWalkWithJumps::RandomWalkWithJumps(const Graph& g, Config config)
+    : graph_(&g),
+      config_(config),
+      start_sampler_(g, StartMode::kUniform) {
+  if (config_.jump_probability < 0.0 || config_.jump_probability > 1.0) {
+    throw std::invalid_argument("RandomWalkWithJumps: jump_probability");
+  }
+  if (config_.cost.hit_ratio <= 0.0 || config_.cost.hit_ratio > 1.0) {
+    throw std::invalid_argument("RandomWalkWithJumps: hit_ratio in (0,1]");
+  }
+}
+
+SampleRecord RandomWalkWithJumps::run(Rng& rng) const {
+  const Graph& g = *graph_;
+  SampleRecord rec;
+
+  // Initial placement is one paid jump.
+  const auto pay_jump = [&]() -> bool {
+    const std::uint64_t misses =
+        geometric_failures(rng, config_.cost.hit_ratio);
+    const double streak =
+        static_cast<double>(misses + 1) * config_.cost.jump_cost;
+    if (rec.cost + streak > config_.budget) {
+      rec.cost = config_.budget;
+      return false;
+    }
+    rec.cost += streak;
+    return true;
+  };
+
+  if (!pay_jump()) return rec;
+  VertexId v = start_sampler_.sample(rng);
+  rec.starts.push_back(v);
+  rec.vertices.push_back(v);
+
+  while (true) {
+    if (config_.jump_probability > 0.0 &&
+        bernoulli(rng, config_.jump_probability)) {
+      if (!pay_jump()) break;
+      v = start_sampler_.sample(rng);
+      rec.vertices.push_back(v);
+      continue;
+    }
+    if (rec.cost + 1.0 > config_.budget) break;
+    rec.cost += 1.0;
+    const VertexId w = step_uniform_neighbor(g, v, rng);
+    rec.edges.push_back(Edge{v, w});
+    rec.vertices.push_back(w);
+    v = w;
+  }
+  return rec;
+}
+
+}  // namespace frontier

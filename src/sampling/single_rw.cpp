@@ -1,0 +1,45 @@
+#include "sampling/single_rw.hpp"
+
+#include <stdexcept>
+
+namespace frontier {
+
+SingleRandomWalk::SingleRandomWalk(const Graph& g, Config config)
+    : graph_(&g), config_(config), start_sampler_(g, config.start) {
+  if (config_.fixed_start && *config_.fixed_start >= g.num_vertices()) {
+    throw std::out_of_range("SingleRandomWalk: fixed_start out of range");
+  }
+  if (config_.fixed_start && g.degree(*config_.fixed_start) == 0) {
+    throw std::invalid_argument("SingleRandomWalk: fixed_start is isolated");
+  }
+  if (config_.laziness < 0.0 || config_.laziness >= 1.0) {
+    throw std::invalid_argument("SingleRandomWalk: laziness in [0, 1)");
+  }
+}
+
+SampleRecord SingleRandomWalk::run(Rng& rng) const {
+  const Graph& g = *graph_;
+  SampleRecord rec;
+  VertexId u =
+      config_.fixed_start ? *config_.fixed_start : start_sampler_.sample(rng);
+  rec.starts.push_back(u);
+  rec.edges.reserve(config_.steps);
+
+  const auto advance = [&](bool record) {
+    if (config_.laziness > 0.0 && bernoulli(rng, config_.laziness)) {
+      return;  // lazy stay: budget spent, no sample
+    }
+    const VertexId v = step_uniform_neighbor(g, u, rng);
+    if (record) rec.edges.push_back(Edge{u, v});
+    u = v;
+  };
+
+  for (std::uint64_t i = 0; i < config_.burn_in; ++i) advance(false);
+  for (std::uint64_t i = 0; i < config_.steps; ++i) advance(true);
+
+  rec.cost = static_cast<double>(config_.burn_in) +
+             static_cast<double>(config_.steps) + 1.0;
+  return rec;
+}
+
+}  // namespace frontier

@@ -1,0 +1,41 @@
+// SingleRW: the classic single random walker of Section 4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "sampling/walk.hpp"
+
+namespace frontier {
+
+class SingleRandomWalk {
+ public:
+  struct Config {
+    std::uint64_t steps = 0;           ///< B walk steps
+    StartMode start = StartMode::kUniform;
+    std::optional<VertexId> fixed_start;  ///< overrides `start` if set
+    /// Burn-in (Section 4.3): `burn_in` additional initial walk queries are
+    /// paid for and executed but their samples discarded — the classic
+    /// MCMC remedy for a non-stationary start.
+    std::uint64_t burn_in = 0;
+    /// Laziness: probability that a budgeted query stays put instead of
+    /// stepping (a lazy walk relaxes the non-bipartite requirement of
+    /// Section 4). Stays consume budget but record no edge (a stay is not
+    /// an element of E). 0 = classic walk.
+    double laziness = 0.0;
+  };
+
+  SingleRandomWalk(const Graph& g, Config config);
+
+  /// One independent run: up to `steps` recorded edges (fewer under
+  /// laziness), cost = burn_in + steps + 1 jump.
+  [[nodiscard]] SampleRecord run(Rng& rng) const;
+
+ private:
+  const Graph* graph_;
+  Config config_;
+  StartSampler start_sampler_;
+};
+
+}  // namespace frontier

@@ -1,0 +1,62 @@
+// Shared sampling vocabulary: sample records, start distributions, and the
+// elementary random-walk step.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "random/alias_table.hpp"
+#include "random/rng.hpp"
+
+namespace frontier {
+
+/// Output of one sampler run. Walk-based samplers fill `edges` (the ordered
+/// sequence {(u_i, v_i)} of Section 4); vertex-based samplers (random vertex,
+/// Metropolis–Hastings visits) fill `vertices`.
+struct SampleRecord {
+  std::vector<Edge> edges;
+  std::vector<VertexId> vertices;
+  std::vector<VertexId> starts;  ///< initial vertex of each walker
+  double cost = 0.0;             ///< budget actually consumed
+};
+
+/// How walker start vertices are chosen.
+enum class StartMode : std::uint8_t {
+  kUniform,             ///< uniform over V (the practical case, Section 5)
+  kDegreeProportional,  ///< steady-state start, deg(v)/vol(V) (Section 6.3)
+};
+
+/// Draws start vertices. Uniform draws reject degree-0 vertices (a walker
+/// cannot leave them; the paper assumes every vertex has an edge) but still
+/// charge one jump per draw. Degree-proportional draws use an alias table.
+class StartSampler {
+ public:
+  StartSampler(const Graph& g, StartMode mode);
+
+  [[nodiscard]] VertexId sample(Rng& rng) const;
+  [[nodiscard]] StartMode mode() const noexcept { return mode_; }
+
+ private:
+  const Graph* graph_;
+  StartMode mode_;
+  AliasTable degree_table_;  // built only for kDegreeProportional
+};
+
+/// One random-walk step from u: a uniformly random neighbor of u.
+/// Precondition: deg(u) > 0.
+[[nodiscard]] inline VertexId step_uniform_neighbor(const Graph& g, VertexId u,
+                                                    Rng& rng) {
+  const auto nbrs = g.neighbors(u);
+  return nbrs[uniform_index(rng, nbrs.size())];
+}
+
+/// Runs a plain random walk for `steps` steps starting at `start`,
+/// appending sampled edges to `out`. Precondition: deg(start) > 0.
+void walk_from(const Graph& g, VertexId start, std::uint64_t steps, Rng& rng,
+               std::vector<Edge>& out);
+
+}  // namespace frontier

@@ -1,0 +1,114 @@
+#include "stats/accumulators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace frontier {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+MseAccumulator::MseAccumulator(std::vector<double> truth)
+    : truth_(std::move(truth)),
+      sq_err_sum_(truth_.size(), 0.0),
+      est_sum_(truth_.size(), 0.0) {}
+
+void MseAccumulator::add_run(std::span<const double> estimate) {
+  ++runs_;
+  for (std::size_t l = 0; l < truth_.size(); ++l) {
+    const double est = l < estimate.size() ? estimate[l] : 0.0;
+    const double err = est - truth_[l];
+    sq_err_sum_[l] += err * err;
+    est_sum_[l] += est;
+  }
+}
+
+void MseAccumulator::merge(const MseAccumulator& other) {
+  if (other.truth_.size() != truth_.size()) {
+    throw std::invalid_argument("MseAccumulator::merge: size mismatch");
+  }
+  runs_ += other.runs_;
+  for (std::size_t l = 0; l < truth_.size(); ++l) {
+    sq_err_sum_[l] += other.sq_err_sum_[l];
+    est_sum_[l] += other.est_sum_[l];
+  }
+}
+
+std::vector<double> MseAccumulator::normalized_rmse() const {
+  std::vector<double> out(truth_.size(), 0.0);
+  if (runs_ == 0) return out;
+  for (std::size_t l = 0; l < truth_.size(); ++l) {
+    if (truth_[l] <= 0.0) continue;
+    out[l] = std::sqrt(sq_err_sum_[l] / static_cast<double>(runs_)) /
+             truth_[l];
+  }
+  return out;
+}
+
+std::vector<double> MseAccumulator::mean_estimate() const {
+  std::vector<double> out(truth_.size(), 0.0);
+  if (runs_ == 0) return out;
+  for (std::size_t l = 0; l < truth_.size(); ++l) {
+    out[l] = est_sum_[l] / static_cast<double>(runs_);
+  }
+  return out;
+}
+
+void ScalarErrorAccumulator::add_run(double estimate) noexcept {
+  ++runs_;
+  est_sum_ += estimate;
+  const double err = estimate - truth_;
+  sq_err_sum_ += err * err;
+}
+
+void ScalarErrorAccumulator::merge(
+    const ScalarErrorAccumulator& other) noexcept {
+  runs_ += other.runs_;
+  est_sum_ += other.est_sum_;
+  sq_err_sum_ += other.sq_err_sum_;
+}
+
+double ScalarErrorAccumulator::mean_estimate() const noexcept {
+  return runs_ == 0 ? 0.0 : est_sum_ / static_cast<double>(runs_);
+}
+
+double ScalarErrorAccumulator::nmse() const noexcept {
+  if (runs_ == 0) return 0.0;
+  if (truth_ == 0.0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(sq_err_sum_ / static_cast<double>(runs_)) /
+         std::abs(truth_);
+}
+
+double ScalarErrorAccumulator::relative_bias() const noexcept {
+  if (runs_ == 0 || truth_ == 0.0) return 0.0;
+  return 1.0 - mean_estimate() / truth_;
+}
+
+}  // namespace frontier

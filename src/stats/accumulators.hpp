@@ -1,0 +1,86 @@
+// Streaming statistics over Monte-Carlo replications.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace frontier {
+
+/// Welford's numerically stable running mean/variance.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Accumulates E[(θ̂ - θ)^2] per bucket across runs; produces the paper's
+/// NMSE(l) = sqrt(E[(θ̂_l - θ_l)^2]) / θ_l  (eq. 1) — and, when fed CCDF
+/// estimates, the CNMSE of eq. 2.
+class MseAccumulator {
+ public:
+  /// `truth[l]` is the true value per bucket; buckets with truth 0 yield
+  /// NMSE 0 (excluded from reports).
+  explicit MseAccumulator(std::vector<double> truth);
+
+  /// Adds one run's estimate vector (shorter vectors are implicitly
+  /// zero-padded; longer ones have their overflow compared against 0 truth
+  /// and ignored in normalized output).
+  void add_run(std::span<const double> estimate);
+
+  void merge(const MseAccumulator& other);
+
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+  [[nodiscard]] const std::vector<double>& truth() const noexcept {
+    return truth_;
+  }
+
+  /// sqrt(mean squared error) / truth per bucket (0 where truth is 0).
+  [[nodiscard]] std::vector<double> normalized_rmse() const;
+
+  /// Per-bucket mean of the estimates (for bias reports).
+  [[nodiscard]] std::vector<double> mean_estimate() const;
+
+ private:
+  std::vector<double> truth_;
+  std::vector<double> sq_err_sum_;
+  std::vector<double> est_sum_;
+  std::uint64_t runs_ = 0;
+};
+
+/// Scalar counterpart: NMSE and relative bias of a single-valued estimator
+/// (used by Table 2 and Table 3).
+class ScalarErrorAccumulator {
+ public:
+  explicit ScalarErrorAccumulator(double truth) : truth_(truth) {}
+
+  void add_run(double estimate) noexcept;
+  void merge(const ScalarErrorAccumulator& other) noexcept;
+
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+  [[nodiscard]] double truth() const noexcept { return truth_; }
+  [[nodiscard]] double mean_estimate() const noexcept;
+  /// sqrt(E[(x̂ - truth)^2]) / |truth|; infinity if truth is 0.
+  [[nodiscard]] double nmse() const noexcept;
+  /// Paper's Table 2 "Bias": 1 - E[x̂]/truth.
+  [[nodiscard]] double relative_bias() const noexcept;
+
+ private:
+  double truth_;
+  double est_sum_ = 0.0;
+  double sq_err_sum_ = 0.0;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace frontier

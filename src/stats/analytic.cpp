@@ -1,0 +1,32 @@
+#include "stats/analytic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace frontier {
+
+namespace {
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+double analytic_nmse_edge_sampling(double theta_i, double degree,
+                                   double mean_degree, double budget) {
+  require(theta_i > 0.0 && theta_i <= 1.0, "analytic: theta_i in (0,1]");
+  require(degree >= 1.0, "analytic: degree >= 1");
+  require(mean_degree > 0.0, "analytic: mean_degree > 0");
+  require(budget > 0.0, "analytic: budget > 0");
+  const double pi_i = degree * theta_i / mean_degree;
+  return std::sqrt((1.0 / pi_i - 1.0) / budget);
+}
+
+double analytic_nmse_vertex_sampling(double theta_i, double budget) {
+  require(theta_i > 0.0 && theta_i <= 1.0, "analytic: theta_i in (0,1]");
+  require(budget > 0.0, "analytic: budget > 0");
+  return std::sqrt((1.0 / theta_i - 1.0) / budget);
+}
+
+}  // namespace frontier

@@ -1,0 +1,63 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace frontier {
+
+ConfidenceInterval block_bootstrap(
+    std::span<const Edge> edges,
+    const std::function<double(std::span<const Edge>)>& estimator,
+    std::size_t block_length, std::size_t replicates, double level,
+    Rng& rng) {
+  if (edges.empty()) {
+    throw std::invalid_argument("block_bootstrap: empty sample");
+  }
+  if (block_length == 0 || block_length > edges.size()) {
+    throw std::invalid_argument("block_bootstrap: bad block length");
+  }
+  if (replicates < 2) {
+    throw std::invalid_argument("block_bootstrap: replicates >= 2");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    throw std::invalid_argument("block_bootstrap: level in (0,1)");
+  }
+
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.point = estimator(edges);
+
+  const std::size_t blocks_needed =
+      (edges.size() + block_length - 1) / block_length;
+  const std::size_t max_start = edges.size() - block_length;
+
+  std::vector<double> stats(replicates);
+  std::vector<Edge> resample;
+  resample.reserve(blocks_needed * block_length);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    resample.clear();
+    for (std::size_t b = 0; b < blocks_needed; ++b) {
+      const std::size_t start = uniform_index(rng, max_start + 1);
+      resample.insert(resample.end(), edges.begin() + start,
+                      edges.begin() + start + block_length);
+    }
+    resample.resize(edges.size());  // trim overshoot to the original length
+    stats[r] = estimator(resample);
+  }
+  std::sort(stats.begin(), stats.end());
+
+  const double alpha = (1.0 - level) / 2.0;
+  const auto pick = [&](double q) {
+    const double pos = q * static_cast<double>(replicates - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = std::min(lo + 1, replicates - 1);
+    const double frac = pos - std::floor(pos);
+    return stats[lo] * (1.0 - frac) + stats[hi] * frac;
+  };
+  ci.lower = pick(alpha);
+  ci.upper = pick(1.0 - alpha);
+  return ci;
+}
+
+}  // namespace frontier

@@ -1,0 +1,36 @@
+// Bootstrap confidence intervals for scalar estimates.
+//
+// A crawler gets *one* sample path, not 10,000 Monte-Carlo replications —
+// in practice the error bar has to come from the path itself. The block
+// bootstrap resamples contiguous blocks of the (autocorrelated) walk so
+// the dependence structure survives resampling, then reports percentile
+// intervals of the re-estimated statistic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "random/rng.hpp"
+
+namespace frontier {
+
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double level = 0.95;
+};
+
+/// Percentile block bootstrap over an edge-sample sequence. `estimator`
+/// maps an edge sequence to the scalar of interest (e.g. a lambda closing
+/// over estimate_assortativity). `block_length` should exceed the walk's
+/// decorrelation time; `replicates` draws are used for the percentiles.
+[[nodiscard]] ConfidenceInterval block_bootstrap(
+    std::span<const Edge> edges,
+    const std::function<double(std::span<const Edge>)>& estimator,
+    std::size_t block_length, std::size_t replicates, double level, Rng& rng);
+
+}  // namespace frontier

@@ -1,0 +1,63 @@
+#include "stats/error_metrics.hpp"
+
+#include <cmath>
+
+namespace frontier {
+
+double nmse(std::span<const double> run_estimates, double truth) {
+  if (run_estimates.empty() || truth == 0.0) return 0.0;
+  double sq = 0.0;
+  for (double est : run_estimates) {
+    const double err = est - truth;
+    sq += err * err;
+  }
+  return std::sqrt(sq / static_cast<double>(run_estimates.size())) /
+         std::abs(truth);
+}
+
+std::vector<std::uint32_t> log_spaced_degrees(std::uint32_t max_value,
+                                              std::uint32_t linear_until,
+                                              double ratio) {
+  std::vector<std::uint32_t> out;
+  std::uint32_t d = 1;
+  while (d <= max_value && d <= linear_until) {
+    out.push_back(d);
+    ++d;
+  }
+  double x = static_cast<double>(d);
+  while (static_cast<std::uint32_t>(x) <= max_value) {
+    const auto v = static_cast<std::uint32_t>(x);
+    if (out.empty() || out.back() != v) out.push_back(v);
+    x *= ratio;
+    if (x <= static_cast<double>(out.back())) {
+      x = static_cast<double>(out.back()) + 1.0;
+    }
+  }
+  return out;
+}
+
+double geometric_mean_positive(std::span<const double> values) {
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(count));
+}
+
+double mean_positive(std::span<const double> values) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      sum += v;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace frontier

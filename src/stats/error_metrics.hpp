@@ -1,0 +1,28 @@
+// One-shot error metrics (paper eqs. 1 and 2) and log-spaced bucketing used
+// to render per-degree error curves the way the paper's log-log figures do.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace frontier {
+
+/// sqrt(E[(x̂-x)^2])/x for one bucket given per-run estimates.
+[[nodiscard]] double nmse(std::span<const double> run_estimates, double truth);
+
+/// Buckets degree axes logarithmically for readable curve output:
+/// {1, 2, ..., 9, 10, 13, 18, 24, ...} — exact below `linear_until`, then
+/// multiplicative with the given ratio, capped at max_value.
+[[nodiscard]] std::vector<std::uint32_t> log_spaced_degrees(
+    std::uint32_t max_value, std::uint32_t linear_until = 10,
+    double ratio = 1.35);
+
+/// Geometric mean of the positive entries (summary statistic used to
+/// compare whole error curves); 0 if none are positive.
+[[nodiscard]] double geometric_mean_positive(std::span<const double> values);
+
+/// Mean of the positive entries; 0 if none are positive.
+[[nodiscard]] double mean_positive(std::span<const double> values);
+
+}  // namespace frontier

@@ -1,0 +1,98 @@
+#include "random/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace frontier {
+namespace {
+
+TEST(AliasTable, RejectsEmptyWeights) {
+  std::vector<double> w;
+  EXPECT_THROW(AliasTable{std::span<const double>(w)}, std::invalid_argument);
+}
+
+TEST(AliasTable, RejectsAllZeroWeights) {
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(AliasTable{std::span<const double>(w)}, std::invalid_argument);
+}
+
+TEST(AliasTable, RejectsNegativeWeights) {
+  std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW(AliasTable{std::span<const double>(w)}, std::invalid_argument);
+}
+
+TEST(AliasTable, SingleBucketAlwaysSampled) {
+  std::vector<double> w{3.0};
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightBucketNeverSampled) {
+  std::vector<double> w{1.0, 0.0, 1.0};
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, ProbabilityAccessorNormalizes) {
+  std::vector<double> w{1.0, 3.0};
+  AliasTable table{std::span<const double>(w)};
+  EXPECT_DOUBLE_EQ(table.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(table.probability(1), 0.75);
+  EXPECT_DOUBLE_EQ(table.total_weight(), 4.0);
+}
+
+TEST(AliasTable, ProbabilityAccessorBoundsChecked) {
+  std::vector<double> w{1.0};
+  AliasTable table{std::span<const double>(w)};
+  EXPECT_THROW((void)table.probability(1), std::out_of_range);
+}
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights) {
+  std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i] / 10.0, 0.005)
+        << "bucket " << i;
+  }
+}
+
+TEST(AliasTable, HandlesExtremeWeightSkew) {
+  std::vector<double> w{1e-9, 1.0};
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(4);
+  int zero_hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (table.sample(rng) == 0) ++zero_hits;
+  }
+  EXPECT_LE(zero_hits, 2);  // p ~ 1e-9
+}
+
+class AliasTableSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AliasTableSizeSweep, UniformWeightsAreUniform) {
+  const std::size_t k = GetParam();
+  std::vector<double> w(k, 2.5);
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(100 + k);
+  std::vector<int> counts(k, 0);
+  const int n = 20000 * static_cast<int>(k);
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, 1.0 / k, 0.15 / k)
+        << "bucket " << i << " of " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasTableSizeSweep,
+                         ::testing::Values(1, 2, 5, 17, 64));
+
+}  // namespace
+}  // namespace frontier

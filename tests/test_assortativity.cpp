@@ -1,0 +1,102 @@
+#include "estimators/assortativity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sampling/frontier_sampler.hpp"
+#include "sampling/single_rw.hpp"
+
+namespace frontier {
+namespace {
+
+std::vector<Edge> full_edge_pass(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.volume());
+  for (EdgeIndex j = 0; j < g.volume(); ++j) edges.push_back(g.edge_at(j));
+  return edges;
+}
+
+TEST(AssortativityAccumulator, FewSamplesGiveZero) {
+  AssortativityAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+  acc.add(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+  EXPECT_EQ(acc.count(), 1u);
+}
+
+TEST(AssortativityAccumulator, PerfectCorrelation) {
+  AssortativityAccumulator acc;
+  for (int i = 1; i <= 10; ++i) {
+    acc.add(static_cast<double>(i), static_cast<double>(2 * i));
+  }
+  EXPECT_NEAR(acc.value(), 1.0, 1e-9);
+}
+
+TEST(AssortativityAccumulator, PerfectAnticorrelation) {
+  AssortativityAccumulator acc;
+  for (int i = 1; i <= 10; ++i) {
+    acc.add(static_cast<double>(i), static_cast<double>(-3 * i + 100));
+  }
+  EXPECT_NEAR(acc.value(), -1.0, 1e-9);
+}
+
+TEST(AssortativityAccumulator, ZeroVarianceGivesZero) {
+  AssortativityAccumulator acc;
+  acc.add(2.0, 1.0);
+  acc.add(2.0, 5.0);
+  acc.add(2.0, 9.0);
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+}
+
+TEST(AssortativityEstimator, ExactOnFullPass) {
+  // A full pass over E visits each directed edge of E_d exactly once (in
+  // its forward orientation), so the estimate equals the exact value.
+  Rng rng(1);
+  const Graph g = directed_preferential(500, 2, 0.4, rng);
+  const double truth = exact_assortativity(g);
+  const double est = estimate_assortativity(g, full_edge_pass(g));
+  EXPECT_NEAR(est, truth, 1e-9);
+}
+
+TEST(AssortativityEstimator, SkipsUnlabeledEdges) {
+  // Directed-only edge (0,1): its reverse orientation (1,0) is in E but not
+  // E_d, so a sample of (1,0) must be ignored.
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const std::vector<Edge> reverse_only{{1, 0}, {2, 1}};
+  const double est = estimate_assortativity(g, reverse_only);
+  EXPECT_DOUBLE_EQ(est, 0.0);  // nothing labeled -> fewer than 2 samples
+}
+
+TEST(AssortativityEstimator, ConvergesOnLongWalk) {
+  Rng rng(2);
+  const Graph g = directed_preferential(300, 3, 0.5, rng);
+  const double truth = exact_assortativity(g);
+  const SingleRandomWalk walker(g, {.steps = 400000});
+  const double est = estimate_assortativity(g, walker.run(rng).edges);
+  EXPECT_NEAR(est, truth, 0.05);
+}
+
+TEST(AssortativityEstimator, FrontierSamplingConvergesToo) {
+  Rng rng(3);
+  const Graph g = directed_preferential(300, 3, 0.5, rng);
+  const double truth = exact_assortativity(g);
+  const FrontierSampler fs(g, {.dimension = 50, .steps = 400000});
+  const double est = estimate_assortativity(g, fs.run(rng).edges);
+  EXPECT_NEAR(est, truth, 0.05);
+}
+
+TEST(AssortativityEstimator, StarIsMinusOne) {
+  const Graph g = star_graph(8);
+  const double est = estimate_assortativity(g, full_edge_pass(g));
+  EXPECT_NEAR(est, -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace frontier

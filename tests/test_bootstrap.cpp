@@ -1,0 +1,101 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "estimators/density.hpp"
+#include "estimators/graph_moments.hpp"
+#include "graph/generators.hpp"
+#include "sampling/single_rw.hpp"
+
+namespace frontier {
+namespace {
+
+double mean_target_id(std::span<const Edge> edges) {
+  double sum = 0.0;
+  for (const Edge& e : edges) sum += static_cast<double>(e.v);
+  return edges.empty() ? 0.0 : sum / static_cast<double>(edges.size());
+}
+
+TEST(BlockBootstrap, ValidatesInput) {
+  Rng rng(1);
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const auto est = [](std::span<const Edge> e) { return mean_target_id(e); };
+  EXPECT_THROW((void)block_bootstrap({}, est, 1, 10, 0.9, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)block_bootstrap(edges, est, 0, 10, 0.9, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)block_bootstrap(edges, est, 3, 10, 0.9, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)block_bootstrap(edges, est, 1, 1, 0.9, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)block_bootstrap(edges, est, 1, 10, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(BlockBootstrap, PointEstimateIsPlugin) {
+  Rng rng(2);
+  const std::vector<Edge> edges{{0, 2}, {2, 4}, {4, 6}};
+  const auto ci = block_bootstrap(
+      edges, [](std::span<const Edge> e) { return mean_target_id(e); }, 1,
+      50, 0.9, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 4.0);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+}
+
+TEST(BlockBootstrap, DegenerateSampleHasZeroWidth) {
+  Rng rng(3);
+  const std::vector<Edge> edges(50, Edge{1, 2});
+  const auto ci = block_bootstrap(
+      edges, [](std::span<const Edge> e) { return mean_target_id(e); }, 5,
+      100, 0.95, rng);
+  EXPECT_DOUBLE_EQ(ci.lower, 2.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 2.0);
+}
+
+TEST(BlockBootstrap, CoversTruthOnRealEstimator) {
+  // 95% interval for the average degree from a single walk should cover
+  // the true value in most replications.
+  Rng rng(4);
+  const Graph g = barabasi_albert(500, 3, rng);
+  const double truth = g.average_degree();
+  const SingleRandomWalk walker(g, {.steps = 4000});
+  int covered = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    Rng walk_rng(100 + t);
+    const auto edges = walker.run(walk_rng).edges;
+    Rng boot_rng(200 + t);
+    const auto ci = block_bootstrap(
+        edges,
+        [&g](std::span<const Edge> e) {
+          return estimate_average_degree(g, e);
+        },
+        100, 200, 0.95, boot_rng);
+    if (truth >= ci.lower && truth <= ci.upper) ++covered;
+  }
+  // Block bootstrap intervals are approximate; require >= 70% empirical
+  // coverage at the 95% level.
+  EXPECT_GE(covered, 21) << covered << "/" << trials;
+}
+
+TEST(BlockBootstrap, WiderIntervalAtHigherLevel) {
+  Rng rng(5);
+  const Graph g = barabasi_albert(300, 2, rng);
+  const SingleRandomWalk walker(g, {.steps = 2000});
+  const auto edges = walker.run(rng).edges;
+  const auto est = [&g](std::span<const Edge> e) {
+    return estimate_average_degree(g, e);
+  };
+  Rng ra(1), rb(1);
+  const auto narrow = block_bootstrap(edges, est, 50, 400, 0.5, ra);
+  const auto wide = block_bootstrap(edges, est, 50, 400, 0.99, rb);
+  EXPECT_LE(wide.lower, narrow.lower);
+  EXPECT_GE(wide.upper, narrow.upper);
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,57 @@
+#include "sampling/budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frontier {
+namespace {
+
+TEST(CostModel, ExpectedJumpCost) {
+  CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.expected_jump_cost(), 1.0);
+  cm.jump_cost = 2.0;
+  cm.hit_ratio = 0.1;
+  EXPECT_DOUBLE_EQ(cm.expected_jump_cost(), 20.0);
+}
+
+TEST(MultipleRwSteps, PaperFormula) {
+  // floor(B/m - c)
+  EXPECT_EQ(multiple_rw_steps_per_walker(1000.0, 10, 1.0), 99u);
+  EXPECT_EQ(multiple_rw_steps_per_walker(1000.0, 3, 1.0), 332u);
+  EXPECT_EQ(multiple_rw_steps_per_walker(100.0, 10, 5.0), 5u);
+}
+
+TEST(MultipleRwSteps, ClampsAtZero) {
+  EXPECT_EQ(multiple_rw_steps_per_walker(10.0, 100, 1.0), 0u);
+  EXPECT_EQ(multiple_rw_steps_per_walker(0.0, 1, 1.0), 0u);
+  EXPECT_EQ(multiple_rw_steps_per_walker(5.0, 0, 1.0), 0u);
+}
+
+TEST(FrontierSteps, PaperFormula) {
+  // B - m*c (Algorithm 1 line 8)
+  EXPECT_EQ(frontier_steps(1000.0, 10, 1.0), 990u);
+  EXPECT_EQ(frontier_steps(1000.0, 1000, 1.0), 0u);
+  EXPECT_EQ(frontier_steps(500.0, 10, 10.0), 400u);
+}
+
+TEST(FrontierSteps, ClampsAtZero) {
+  EXPECT_EQ(frontier_steps(5.0, 100, 1.0), 0u);
+}
+
+TEST(BudgetComparison, FsTakesMoreStepsThanMrwTotal) {
+  // Under the same budget B with c = 1, FS walks B - m steps while
+  // MultipleRW walks m * floor(B/m - 1) = B - m (when m | B): identical.
+  const double budget = 1000.0;
+  const std::size_t m = 10;
+  const std::uint64_t fs = frontier_steps(budget, m, 1.0);
+  const std::uint64_t mrw =
+      m * multiple_rw_steps_per_walker(budget, m, 1.0);
+  EXPECT_EQ(fs, mrw);
+  // When m does not divide B, MultipleRW loses the remainder.
+  const std::uint64_t fs2 = frontier_steps(1005.0, m, 1.0);
+  const std::uint64_t mrw2 =
+      m * multiple_rw_steps_per_walker(1005.0, m, 1.0);
+  EXPECT_GE(fs2, mrw2);
+}
+
+}  // namespace
+}  // namespace frontier

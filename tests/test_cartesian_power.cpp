@@ -1,0 +1,235 @@
+// Exact verification of the paper's core theory: Lemma 5.1 (FS = single RW
+// on G^m) and Theorem 5.2 (closed-form stationary law, uniform edge
+// sampling) on graphs small enough to enumerate |V|^m states.
+#include "analysis/cartesian_power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sampling/frontier_sampler.hpp"
+
+namespace frontier {
+namespace {
+
+// Connected, non-bipartite 4-vertex graph: triangle {0,1,2} + pendant 3-0.
+Graph triangle_with_pendant() {
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(2, 0);
+  b.add_undirected_edge(0, 3);
+  return b.build();
+}
+
+TEST(StateCodec, EncodeDecodeRoundTrip) {
+  const StateCodec codec(5, 3);
+  EXPECT_EQ(codec.num_states(), 125u);
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    EXPECT_EQ(codec.encode(codec.decode(code)), code);
+  }
+}
+
+TEST(StateCodec, ValidatesInput) {
+  EXPECT_THROW(StateCodec(0, 2), std::invalid_argument);
+  EXPECT_THROW(StateCodec(3, 0), std::invalid_argument);
+  const StateCodec codec(3, 2);
+  EXPECT_THROW((void)codec.decode(9), std::out_of_range);
+  EXPECT_THROW((void)codec.encode({0}), std::invalid_argument);
+  EXPECT_THROW((void)codec.encode({0, 5}), std::out_of_range);
+}
+
+TEST(FrontierChain, IsStochastic) {
+  const Graph g = triangle_with_pendant();
+  for (std::size_t m : {1, 2, 3}) {
+    const DenseChain chain = frontier_chain(g, m);
+    EXPECT_TRUE(chain.is_stochastic()) << "m = " << m;
+  }
+}
+
+TEST(FrontierChain, RefusesHugeStateSpaces) {
+  const Graph g = complete_graph(10);
+  EXPECT_THROW((void)frontier_chain(g, 3, 100), std::invalid_argument);
+}
+
+TEST(FrontierChain, MEqualsOneIsPlainRandomWalk) {
+  const Graph g = triangle_with_pendant();
+  const DenseChain fs1 = frontier_chain(g, 1);
+  const DenseChain rw = random_walk_chain(g);
+  for (std::size_t i = 0; i < g.num_vertices(); ++i) {
+    for (std::size_t j = 0; j < g.num_vertices(); ++j) {
+      EXPECT_NEAR(fs1.get(i, j), rw.get(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(FrontierChain, TransitionProbabilityIsInverseFrontierDegree) {
+  // Lemma 5.1: every transition out of L has probability 1/|e(L)|.
+  const Graph g = triangle_with_pendant();
+  const std::size_t m = 2;
+  const StateCodec codec(g.num_vertices(), m);
+  const DenseChain chain = frontier_chain(g, m);
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    const auto tuple = codec.decode(code);
+    double deg_sum = 0.0;
+    for (VertexId v : tuple) deg_sum += static_cast<double>(g.degree(v));
+    for (std::size_t to = 0; to < codec.num_states(); ++to) {
+      const double p = chain.get(code, to);
+      if (p == 0.0) continue;
+      // Transitions may stack when multiple single-coordinate moves lead to
+      // the same state; each contributes exactly 1/deg_sum.
+      const double units = p * deg_sum;
+      EXPECT_NEAR(units, std::round(units), 1e-9);
+      EXPECT_GE(units, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(FrontierStationaryFormula, IsADistribution) {
+  const Graph g = triangle_with_pendant();
+  for (std::size_t m : {1, 2, 3}) {
+    const auto pi = frontier_stationary_formula(g, m);
+    const double total = std::accumulate(pi.begin(), pi.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "m = " << m;
+  }
+}
+
+TEST(FrontierStationaryFormula, MatchesPowerIteration) {
+  // Theorem 5.2 (II): the closed form is the stationary law of the chain.
+  const Graph g = triangle_with_pendant();
+  for (std::size_t m : {1, 2}) {
+    const DenseChain chain = frontier_chain(g, m);
+    const auto pi_exact = chain.stationary();
+    const auto pi_formula = frontier_stationary_formula(g, m);
+    ASSERT_EQ(pi_exact.size(), pi_formula.size());
+    for (std::size_t s = 0; s < pi_exact.size(); ++s) {
+      EXPECT_NEAR(pi_exact[s], pi_formula[s], 1e-7) << "state " << s;
+    }
+  }
+}
+
+TEST(FrontierStationaryFormula, MatchesOnSecondGraph) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnp(6, 0.6, rng);
+  if (!is_connected(g) || is_bipartite(g)) GTEST_SKIP();
+  const DenseChain chain = frontier_chain(g, 2);
+  const auto pi_exact = chain.stationary();
+  const auto pi_formula = frontier_stationary_formula(g, 2);
+  for (std::size_t s = 0; s < pi_exact.size(); ++s) {
+    EXPECT_NEAR(pi_exact[s], pi_formula[s], 1e-7);
+  }
+}
+
+TEST(FrontierStationary, MarginalIsMixtureOfDegreeLawAndUniform) {
+  // Summing the m = 2 joint law over the second coordinate gives
+  // (deg(v)/vol + 1/|V|)/2 — the frontier occupancy interpolates between
+  // the walk law and the uniform law, which is why FS tolerates uniform
+  // starting vertices (Section 5.2).
+  const Graph g = triangle_with_pendant();
+  const std::size_t m = 2;
+  const StateCodec codec(g.num_vertices(), m);
+  const auto pi = frontier_stationary_formula(g, m);
+  std::vector<double> marginal(g.num_vertices(), 0.0);
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    marginal[codec.decode(code)[0]] += pi[code];
+  }
+  // The FS joint marginal is a 50/50 mixture of deg/vol and uniform:
+  // P[v_1 = v] = (deg(v)/vol + 1/|V|)/2 for m = 2. Verify against formula.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double expect = 0.5 * (static_cast<double>(g.degree(v)) /
+                                     static_cast<double>(g.volume()) +
+                                 1.0 / static_cast<double>(g.num_vertices()));
+    EXPECT_NEAR(marginal[v], expect, 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(IndependentWalkersStationary, ProductLaw) {
+  const Graph g = triangle_with_pendant();
+  const auto pi = independent_walkers_stationary(g, 2);
+  const double total = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const StateCodec codec(g.num_vertices(), 2);
+  const auto single = rw_stationary_distribution(g);
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    const auto tuple = codec.decode(code);
+    EXPECT_NEAR(pi[code], single[tuple[0]] * single[tuple[1]], 1e-12);
+  }
+}
+
+TEST(JointLaws, FsIsCloserToUniformThanIndependentWalkers) {
+  // Section 5's headline property: TVD(FS steady state, uniform) <
+  // TVD(independent walkers steady state, uniform), for every m > 1.
+  const Graph g = triangle_with_pendant();
+  for (std::size_t m : {2, 3, 4}) {
+    const auto uniform = uniform_joint_distribution(g, m);
+    const double fs_dist =
+        total_variation(frontier_stationary_formula(g, m), uniform);
+    const double ind_dist =
+        total_variation(independent_walkers_stationary(g, m), uniform);
+    EXPECT_LT(fs_dist, ind_dist) << "m = " << m;
+  }
+}
+
+TEST(JointLaws, FsDistanceToUniformShrinksWithM) {
+  const Graph g = triangle_with_pendant();
+  double prev = 1.0;
+  for (std::size_t m : {1, 2, 3, 4, 5}) {
+    const double d = total_variation(frontier_stationary_formula(g, m),
+                                     uniform_joint_distribution(g, m));
+    EXPECT_LT(d, prev + 1e-12) << "m = " << m;
+    prev = d;
+  }
+}
+
+TEST(EmpiricalFs, JointOccupancyMatchesExactStationary) {
+  // Run the actual FrontierSampler long enough and compare the empirical
+  // occupancy of (v1, v2) as an unordered multiset against the exact law.
+  const Graph g = triangle_with_pendant();
+  const std::size_t m = 2;
+  const StateCodec codec(g.num_vertices(), m);
+  const auto pi = frontier_stationary_formula(g, m);
+
+  // Aggregate the exact law over multisets (the sampler's walker identity
+  // is not recoverable from the edge sequence, but the multiset is).
+  std::vector<double> exact_multiset(codec.num_states(), 0.0);
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    auto t = codec.decode(code);
+    if (t[0] > t[1]) std::swap(t[0], t[1]);
+    exact_multiset[codec.encode(t)] += pi[code];
+  }
+
+  Rng rng(7);
+  const std::uint64_t steps = 400000;
+  const FrontierSampler fs(g, {.dimension = m, .steps = steps});
+  const SampleRecord rec = fs.run(rng);
+  std::vector<VertexId> occ(rec.starts);
+  std::vector<double> counts(codec.num_states(), 0.0);
+  for (const Edge& e : rec.edges) {
+    // Replay: move one walker from e.u to e.v (any walker at e.u — the
+    // multiset evolution is identical whichever is chosen).
+    for (auto& v : occ) {
+      if (v == e.u) {
+        v = e.v;
+        break;
+      }
+    }
+    auto t = occ;
+    if (t[0] > t[1]) std::swap(t[0], t[1]);
+    counts[codec.encode(t)] += 1.0;
+  }
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    const double freq = counts[code] / static_cast<double>(steps);
+    EXPECT_NEAR(freq, exact_multiset[code], 0.15 * exact_multiset[code] + 0.003)
+        << "state " << code;
+  }
+}
+
+}  // namespace
+}  // namespace frontier

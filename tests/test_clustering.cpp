@@ -1,0 +1,85 @@
+#include "estimators/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sampling/frontier_sampler.hpp"
+#include "sampling/single_rw.hpp"
+
+namespace frontier {
+namespace {
+
+std::vector<Edge> full_edge_pass(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.volume());
+  for (EdgeIndex j = 0; j < g.volume(); ++j) edges.push_back(g.edge_at(j));
+  return edges;
+}
+
+TEST(ClusteringEstimator, ExactOnFullPassCompleteGraph) {
+  const Graph g = complete_graph(6);
+  EXPECT_NEAR(estimate_global_clustering(g, full_edge_pass(g)), 1.0, 1e-9);
+}
+
+TEST(ClusteringEstimator, ExactOnFullPassBipartite) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_NEAR(estimate_global_clustering(g, full_edge_pass(g)), 0.0, 1e-9);
+}
+
+TEST(ClusteringEstimator, ExactOnFullPassMixedGraph) {
+  // Triangle with pendant: C = (1/3 + 1 + 1)/3.
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(2, 0);
+  b.add_undirected_edge(0, 3);
+  const Graph g = b.build();
+  const double truth = exact_global_clustering(g);
+  EXPECT_NEAR(estimate_global_clustering(g, full_edge_pass(g)), truth, 1e-9);
+}
+
+TEST(ClusteringEstimator, ExactOnFullPassRandomGraph) {
+  Rng rng(1);
+  const Graph g = watts_strogatz(300, 3, 0.1, rng);
+  const double truth = exact_global_clustering(g);
+  EXPECT_GT(truth, 0.2);  // small-world: high clustering
+  EXPECT_NEAR(estimate_global_clustering(g, full_edge_pass(g)), truth, 1e-9);
+}
+
+TEST(ClusteringEstimator, EmptyInputIsZero) {
+  const Graph g = complete_graph(4);
+  EXPECT_DOUBLE_EQ(estimate_global_clustering(g, {}), 0.0);
+}
+
+TEST(ClusteringEstimator, DegreeOneEndpointsIgnored) {
+  // Star: all edges have either a deg-1 source (leaf) or the center whose
+  // pairs share no edges; estimate must be 0, not NaN.
+  const Graph g = star_graph(6);
+  const double est = estimate_global_clustering(g, full_edge_pass(g));
+  EXPECT_DOUBLE_EQ(est, 0.0);
+}
+
+TEST(ClusteringEstimator, ConvergesOnLongWalk) {
+  Rng rng(2);
+  const Graph g = watts_strogatz(200, 3, 0.05, rng);
+  const double truth = exact_global_clustering(g);
+  const SingleRandomWalk walker(g, {.steps = 300000});
+  const double est = estimate_global_clustering(g, walker.run(rng).edges);
+  EXPECT_NEAR(est, truth, 0.05 * truth + 0.01);
+}
+
+TEST(ClusteringEstimator, ConvergesUnderFrontierSampling) {
+  Rng rng(3);
+  const Graph g = watts_strogatz(200, 3, 0.05, rng);
+  const double truth = exact_global_clustering(g);
+  const FrontierSampler fs(g, {.dimension = 30, .steps = 300000});
+  const double est = estimate_global_clustering(g, fs.run(rng).edges);
+  EXPECT_NEAR(est, truth, 0.05 * truth + 0.01);
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,147 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace frontier {
+namespace {
+
+Graph two_triangles() {
+  GraphBuilder b(6);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(2, 0);
+  b.add_undirected_edge(3, 4);
+  b.add_undirected_edge(4, 5);
+  b.add_undirected_edge(5, 3);
+  return b.build();
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  const Graph g = cycle_graph(5);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components(), 1u);
+  EXPECT_EQ(info.size[0], 5u);
+  EXPECT_EQ(info.volume[0], 10u);
+}
+
+TEST(ConnectedComponents, TwoComponents) {
+  const Graph g = two_triangles();
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components(), 2u);
+  EXPECT_EQ(info.size[0], 3u);
+  EXPECT_EQ(info.size[1], 3u);
+  EXPECT_NE(info.component_of[0], info.component_of[3]);
+  EXPECT_EQ(info.component_of[0], info.component_of[2]);
+}
+
+TEST(ConnectedComponents, IsolatedVerticesAreComponents) {
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  const Graph g = b.build();
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components(), 3u);
+}
+
+TEST(ConnectedComponents, LargestPicksBiggest) {
+  GraphBuilder b(7);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(2, 3);
+  b.add_undirected_edge(3, 4);
+  b.add_undirected_edge(4, 5);
+  b.add_undirected_edge(5, 6);
+  const Graph g = b.build();
+  const ComponentInfo info = connected_components(g);
+  const std::uint32_t lcc = info.largest();
+  EXPECT_EQ(info.size[lcc], 5u);
+}
+
+TEST(IsConnected, Basics) {
+  EXPECT_TRUE(is_connected(cycle_graph(4)));
+  EXPECT_FALSE(is_connected(two_triangles()));
+  EXPECT_FALSE(is_connected(Graph{}));
+}
+
+TEST(IsBipartite, EvenCycleYes) { EXPECT_TRUE(is_bipartite(cycle_graph(6))); }
+
+TEST(IsBipartite, OddCycleNo) { EXPECT_FALSE(is_bipartite(cycle_graph(5))); }
+
+TEST(IsBipartite, StarAndGridYes) {
+  EXPECT_TRUE(is_bipartite(star_graph(5)));
+  EXPECT_TRUE(is_bipartite(grid_graph(3, 3)));
+}
+
+TEST(IsBipartite, TriangleWithTailNo) {
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(2, 0);
+  b.add_undirected_edge(2, 3);
+  EXPECT_FALSE(is_bipartite(b.build()));
+}
+
+TEST(InducedSubgraph, ExtractsTriangle) {
+  const Graph g = two_triangles();
+  const std::vector<VertexId> sel{3, 4, 5};
+  const Subgraph sub = induced_subgraph(g, sel);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_undirected_edges(), 3u);
+  EXPECT_EQ(sub.original_id[0], 3u);
+  EXPECT_EQ(sub.original_id[2], 5u);
+}
+
+TEST(InducedSubgraph, DropsCrossEdges) {
+  const Graph g = path_graph(4);  // 0-1-2-3
+  const std::vector<VertexId> sel{0, 1, 3};
+  const Subgraph sub = induced_subgraph(g, sel);
+  EXPECT_EQ(sub.graph.num_undirected_edges(), 1u);  // only 0-1 survives
+  EXPECT_EQ(sub.graph.degree(2), 0u);               // new id of vertex 3
+}
+
+TEST(InducedSubgraph, PreservesEdgeDirections) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);
+  const Graph g = b.build();
+  const std::vector<VertexId> sel{0, 1};
+  const Subgraph sub = induced_subgraph(g, sel);
+  EXPECT_TRUE(sub.graph.has_directed_edge(0, 1));
+  EXPECT_FALSE(sub.graph.has_directed_edge(1, 0));
+}
+
+TEST(InducedSubgraph, RejectsDuplicatesAndBadIds) {
+  const Graph g = path_graph(3);
+  const std::vector<VertexId> dup{0, 0};
+  EXPECT_THROW((void)induced_subgraph(g, dup), std::invalid_argument);
+  const std::vector<VertexId> bad{0, 9};
+  EXPECT_THROW((void)induced_subgraph(g, bad), std::out_of_range);
+}
+
+TEST(LargestConnectedComponent, ExtractsLcc) {
+  GraphBuilder b(10);
+  // Component A: path over 0..5 (6 vertices). Component B: triangle 6,7,8.
+  for (VertexId v = 0; v < 5; ++v) b.add_undirected_edge(v, v + 1);
+  b.add_undirected_edge(6, 7);
+  b.add_undirected_edge(7, 8);
+  b.add_undirected_edge(8, 6);
+  const Graph g = b.build();  // vertex 9 isolated
+  const Subgraph lcc = largest_connected_component(g);
+  EXPECT_EQ(lcc.graph.num_vertices(), 6u);
+  EXPECT_TRUE(is_connected(lcc.graph));
+}
+
+TEST(LargestConnectedComponent, RandomGraphRoundTrip) {
+  Rng rng(77);
+  const Graph g = erdos_renyi_gnp(800, 0.002, rng);
+  const ComponentInfo info = connected_components(g);
+  const Subgraph lcc = largest_connected_component(g);
+  EXPECT_EQ(lcc.graph.num_vertices(), info.size[info.largest()]);
+  EXPECT_TRUE(is_connected(lcc.graph));
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,134 @@
+#include "analysis/conductance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "analysis/spectral.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace frontier {
+namespace {
+
+TEST(CutConductance, ValidatesSubset) {
+  const Graph g = cycle_graph(6);
+  const std::vector<VertexId> empty;
+  EXPECT_THROW((void)cut_conductance(g, empty), std::invalid_argument);
+  const std::vector<VertexId> all{0, 1, 2, 3, 4, 5};
+  EXPECT_THROW((void)cut_conductance(g, all), std::invalid_argument);
+  const std::vector<VertexId> dup{1, 1};
+  EXPECT_THROW((void)cut_conductance(g, dup), std::invalid_argument);
+}
+
+TEST(CutConductance, CycleArcKnownValue) {
+  // An arc of k consecutive cycle vertices has cut 2, volume 2k.
+  const Graph g = cycle_graph(10);
+  const std::vector<VertexId> arc{0, 1, 2};
+  EXPECT_DOUBLE_EQ(cut_conductance(g, arc), 2.0 / 6.0);
+}
+
+TEST(CutConductance, SingleBridgeCutIsTiny) {
+  const Graph g =
+      join_by_single_edge(complete_graph(12), complete_graph(12));
+  std::vector<VertexId> half(12);
+  std::iota(half.begin(), half.end(), VertexId{0});
+  // Exactly one adjacency entry leaves S (the bridge), vol(S) = 12*11+1.
+  const double phi = cut_conductance(g, half);
+  EXPECT_GT(phi, 0.0);
+  EXPECT_LT(phi, 0.01);
+}
+
+TEST(CheegerBounds, SandwichHolds) {
+  const Graph g = join_by_single_edge(complete_graph(10), complete_graph(10));
+  const SpectralInfo s = spectral_gap(g);
+  const auto [lo, hi] = cheeger_bounds(s.spectral_gap);
+  std::vector<VertexId> half(10);
+  std::iota(half.begin(), half.end(), VertexId{0});
+  const double phi = cut_conductance(g, half);
+  EXPECT_GE(phi, lo - 1e-9);
+  EXPECT_LE(phi, hi + 1e-9);
+  EXPECT_THROW((void)cheeger_bounds(-0.1), std::invalid_argument);
+}
+
+TEST(SpectralSweepCut, RecoversPlantedBipartition) {
+  // SBM with two dense blocks and weak coupling: the sweep cut must find
+  // (approximately) the planted split.
+  Rng rng(1);
+  const std::vector<std::size_t> sizes{60, 60};
+  const std::vector<std::vector<double>> probs{{0.3, 0.01}, {0.01, 0.3}};
+  const Graph g = stochastic_block_model(sizes, probs, rng);
+  if (!is_connected(g)) GTEST_SKIP();
+  const SweepCut cut = spectral_sweep_cut(g);
+  // Nearly all of one block on one side.
+  std::size_t in_first = 0;
+  for (VertexId v : cut.side) {
+    if (v < 60) ++in_first;
+  }
+  const double purity =
+      std::max(in_first, cut.side.size() - in_first) /
+      static_cast<double>(cut.side.size());
+  EXPECT_GT(purity, 0.9);
+  EXPECT_LT(cut.conductance, 0.1);
+}
+
+TEST(SpectralSweepCut, FindsTheBridgeOnGab) {
+  const Graph g = join_by_single_edge(complete_graph(14), complete_graph(14));
+  const SweepCut cut = spectral_sweep_cut(g);
+  EXPECT_EQ(cut.side.size(), 14u);
+  EXPECT_LT(cut.conductance, 0.01);
+  // The side must be one clique exactly.
+  const bool first_clique = cut.side.front() < 14;
+  for (VertexId v : cut.side) EXPECT_EQ(v < 14, first_clique);
+}
+
+TEST(SpectralSweepCut, ConductanceMatchesDirectComputation) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(150, 2, rng);
+  const SweepCut cut = spectral_sweep_cut(g);
+  EXPECT_NEAR(cut.conductance, cut_conductance(g, cut.side), 1e-9);
+}
+
+TEST(Sbm, GeneratesExpectedDensities) {
+  Rng rng(3);
+  const std::vector<std::size_t> sizes{400, 400};
+  const std::vector<std::vector<double>> probs{{0.05, 0.005}, {0.005, 0.08}};
+  const Graph g = stochastic_block_model(sizes, probs, rng);
+  double within_a = 0.0, within_b = 0.0, across = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      if (w < v) continue;
+      if (v < 400 && w < 400) within_a += 1.0;
+      else if (v >= 400 && w >= 400) within_b += 1.0;
+      else across += 1.0;
+    }
+  }
+  EXPECT_NEAR(within_a, 0.05 * 400 * 399 / 2, 4 * std::sqrt(within_a) + 20);
+  EXPECT_NEAR(within_b, 0.08 * 400 * 399 / 2, 4 * std::sqrt(within_b) + 20);
+  EXPECT_NEAR(across, 0.005 * 400 * 400, 4 * std::sqrt(across) + 20);
+}
+
+TEST(Sbm, ValidatesInput) {
+  Rng rng(4);
+  const std::vector<std::size_t> sizes{10, 10};
+  const std::vector<std::vector<double>> bad_shape{{0.5}};
+  EXPECT_THROW((void)stochastic_block_model(sizes, bad_shape, rng),
+               std::invalid_argument);
+  const std::vector<std::vector<double>> bad_p{{0.5, 1.5}, {1.5, 0.5}};
+  EXPECT_THROW((void)stochastic_block_model(sizes, bad_p, rng),
+               std::invalid_argument);
+}
+
+TEST(Sbm, FullDensityIsCompleteBlock) {
+  Rng rng(5);
+  const std::vector<std::size_t> sizes{8};
+  const std::vector<std::vector<double>> probs{{1.0}};
+  const Graph g = stochastic_block_model(sizes, probs, rng);
+  EXPECT_EQ(g.num_undirected_edges(), 28u);
+}
+
+}  // namespace
+}  // namespace frontier

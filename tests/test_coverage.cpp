@@ -1,0 +1,89 @@
+#include "sampling/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "sampling/frontier_sampler.hpp"
+#include "sampling/single_rw.hpp"
+
+namespace frontier {
+namespace {
+
+TEST(CoverageCurve, CountsDistinctVerticesAndEdges) {
+  const Graph g = cycle_graph(5);
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 1}, {1, 0}};
+  const std::vector<std::uint64_t> cps{1, 2, 4, 10};
+  const CoverageCurve c = coverage_curve(g, edges, cps);
+  ASSERT_EQ(c.distinct_vertices.size(), 4u);
+  EXPECT_EQ(c.distinct_vertices[0], 2u);  // after (0,1)
+  EXPECT_EQ(c.distinct_vertices[1], 3u);  // after (1,2)
+  EXPECT_EQ(c.distinct_vertices[2], 3u);  // revisits add nothing
+  EXPECT_EQ(c.distinct_vertices[3], 3u);  // clamped past the end
+  EXPECT_EQ(c.distinct_edges[0], 1u);
+  EXPECT_EQ(c.distinct_edges[3], 2u);     // {0,1} and {1,2}
+}
+
+TEST(CoverageCurve, EmptySample) {
+  const Graph g = cycle_graph(4);
+  const std::vector<std::uint64_t> cps{5};
+  const CoverageCurve c = coverage_curve(g, {}, cps);
+  ASSERT_EQ(c.distinct_vertices.size(), 1u);
+  EXPECT_EQ(c.distinct_vertices[0], 0u);
+}
+
+TEST(VertexCoverage, FullWalkCoversConnectedGraph) {
+  Rng rng(1);
+  const Graph g = cycle_graph(30);
+  const SingleRandomWalk walker(g, {.steps = 5000});
+  EXPECT_DOUBLE_EQ(vertex_coverage(g, walker.run(rng).edges), 1.0);
+}
+
+TEST(VertexCoverage, IgnoresIsolatedVertices) {
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);  // vertices 2, 3 isolated
+  const Graph g = b.build();
+  const std::vector<Edge> edges{{0, 1}};
+  EXPECT_DOUBLE_EQ(vertex_coverage(g, edges), 1.0);
+}
+
+TEST(VertexCoverage, TrappedWalkerCoversOneComponentOnly) {
+  GraphBuilder b(8);
+  for (VertexId v = 0; v < 3; ++v) {
+    b.add_undirected_edge(v, static_cast<VertexId>((v + 1) % 4));
+  }
+  b.add_undirected_edge(3, 0);
+  for (VertexId v = 4; v < 7; ++v) b.add_undirected_edge(v, v + 1);
+  b.add_undirected_edge(7, 4);
+  const Graph g = b.build();  // two 4-cycles
+  Rng rng(2);
+  const SingleRandomWalk walker(g, {.steps = 2000});
+  const double cov = vertex_coverage(g, walker.run(rng).edges);
+  EXPECT_DOUBLE_EQ(cov, 0.5);  // exactly one component reachable
+}
+
+TEST(VertexCoverage, FsCoversMoreThanSingleWalkOnDisconnectedGraph) {
+  // Under the same budget on a loosely populated multi-component graph,
+  // FS with many walkers touches more of the graph.
+  Rng rng(3);
+  std::vector<Graph> parts;
+  for (int i = 0; i < 10; ++i) parts.push_back(barabasi_albert(200, 2, rng));
+  const Graph g = disjoint_union(parts);
+
+  const std::uint64_t budget = 600;
+  const SingleRandomWalk srw(g, {.steps = budget});
+  const FrontierSampler fs(g, {.dimension = 60, .steps = budget - 60});
+  double srw_cov = 0.0;
+  double fs_cov = 0.0;
+  for (int r = 0; r < 10; ++r) {
+    Rng ra(100 + r), rb(100 + r);
+    srw_cov += vertex_coverage(g, srw.run(ra).edges);
+    fs_cov += vertex_coverage(g, fs.run(rb).edges);
+  }
+  EXPECT_GT(fs_cov, srw_cov);
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,136 @@
+#include "experiments/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+
+namespace frontier {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.scale_multiplier = 0.25;  // keep dataset tests fast
+  cfg.seed = 123;
+  return cfg;
+}
+
+TEST(Datasets, FlickrShapeProperties) {
+  const Dataset ds = synthetic_flickr(small_config());
+  EXPECT_EQ(ds.name, "Flickr");
+  const ComponentInfo info = connected_components(ds.graph);
+  EXPECT_GT(info.num_components(), 1u) << "Flickr surrogate must be disconnected";
+  const double lcc_frac =
+      static_cast<double>(info.size[info.largest()]) /
+      static_cast<double>(ds.graph.num_vertices());
+  EXPECT_GT(lcc_frac, 0.88);
+  EXPECT_LT(lcc_frac, 0.97);
+  EXPECT_NEAR(ds.graph.average_degree(), 12.0, 3.0);
+  // Heavy tail (communities cap the global hub, so compare against 10x
+  // the mean rather than the monolithic-BA 20x).
+  EXPECT_GT(ds.graph.max_degree(), 10 * ds.graph.average_degree());
+}
+
+TEST(Datasets, FlickrGroupsCoverAboutOneFifth) {
+  const Dataset ds = synthetic_flickr(small_config());
+  ASSERT_GT(ds.num_groups, 200u);
+  std::size_t with_group = 0;
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    if (!ds.groups(v).empty()) ++with_group;
+    for (std::uint32_t grp : ds.groups(v)) ASSERT_LT(grp, ds.num_groups);
+  }
+  const double coverage = static_cast<double>(with_group) /
+                          static_cast<double>(ds.graph.num_vertices());
+  EXPECT_GT(coverage, 0.12);
+  EXPECT_LT(coverage, 0.35);
+}
+
+TEST(Datasets, FlickrGroupsAreZipfOrdered) {
+  const Dataset ds = synthetic_flickr(small_config());
+  std::vector<std::size_t> size(ds.num_groups, 0);
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    for (std::uint32_t grp : ds.groups(v)) ++size[grp];
+  }
+  // First group much larger than the 100th.
+  EXPECT_GT(size[0], 4 * size[99]);
+}
+
+TEST(Datasets, LiveJournalNearConnected) {
+  const Dataset ds = synthetic_livejournal(small_config());
+  const ComponentInfo info = connected_components(ds.graph);
+  const double lcc_frac =
+      static_cast<double>(info.size[info.largest()]) /
+      static_cast<double>(ds.graph.num_vertices());
+  EXPECT_GT(lcc_frac, 0.99);
+  EXPECT_NEAR(ds.graph.average_degree(), 14.6, 3.0);
+}
+
+TEST(Datasets, YouTubeShape) {
+  const Dataset ds = synthetic_youtube(small_config());
+  EXPECT_NEAR(ds.graph.average_degree(), 8.7, 2.5);
+}
+
+TEST(Datasets, InternetRltSparse) {
+  const Dataset ds = synthetic_internet_rlt(small_config());
+  EXPECT_NEAR(ds.graph.average_degree(), 3.2, 1.2);
+  // Tree-like: very low clustering.
+  EXPECT_LT(exact_global_clustering(ds.graph), 0.1);
+}
+
+TEST(Datasets, HepThSmall) {
+  const Dataset ds = synthetic_hepth(small_config());
+  EXPECT_LT(ds.graph.num_vertices(), 4000u);
+  EXPECT_GT(ds.graph.num_vertices(), 500u);
+}
+
+TEST(Datasets, GabMatchesPaperConstruction) {
+  const Dataset ds = make_gab(1000, 7);
+  EXPECT_EQ(ds.graph.num_vertices(), 2000u);
+  EXPECT_TRUE(is_connected(ds.graph));
+  // Part A: avg degree ~2, part B: ~10; exactly one cross edge.
+  std::uint64_t cross = 0;
+  double vol_a = 0.0, vol_b = 0.0;
+  for (VertexId v = 0; v < 2000; ++v) {
+    for (VertexId w : ds.graph.neighbors(v)) {
+      if ((v < 1000) != (w < 1000)) ++cross;
+    }
+    (v < 1000 ? vol_a : vol_b) += ds.graph.degree(v);
+  }
+  EXPECT_EQ(cross, 2u);  // one undirected edge counted from both sides
+  EXPECT_NEAR(vol_a / 1000.0, 2.0, 0.4);
+  EXPECT_NEAR(vol_b / 1000.0, 10.0, 0.6);
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  const Dataset a = synthetic_youtube(small_config());
+  const Dataset b = synthetic_youtube(small_config());
+  ASSERT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+  ASSERT_EQ(a.graph.volume(), b.graph.volume());
+  for (VertexId v = 0; v < a.graph.num_vertices(); ++v) {
+    ASSERT_EQ(a.graph.degree(v), b.graph.degree(v));
+  }
+}
+
+TEST(Datasets, ScaleMultiplierChangesSize) {
+  ExperimentConfig big = small_config();
+  big.scale_multiplier = 0.5;
+  const Dataset small_ds = synthetic_youtube(small_config());
+  const Dataset big_ds = synthetic_youtube(big);
+  EXPECT_GT(big_ds.graph.num_vertices(), small_ds.graph.num_vertices());
+}
+
+TEST(Datasets, Table1RegistryHasFourEntries) {
+  ExperimentConfig cfg = small_config();
+  cfg.scale_multiplier = 0.1;
+  const auto all = table1_datasets(cfg);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "Flickr");
+  EXPECT_EQ(all[1].name, "LiveJournal");
+  EXPECT_EQ(all[2].name, "YouTube");
+  EXPECT_EQ(all[3].name, "Internet RLT");
+}
+
+}  // namespace
+}  // namespace frontier

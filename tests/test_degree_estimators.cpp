@@ -1,0 +1,112 @@
+#include "estimators/degree_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sampling/frontier_sampler.hpp"
+#include "sampling/single_rw.hpp"
+
+namespace frontier {
+namespace {
+
+std::vector<Edge> full_edge_pass(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.volume());
+  for (EdgeIndex j = 0; j < g.volume(); ++j) edges.push_back(g.edge_at(j));
+  return edges;
+}
+
+TEST(DegreeDistributionEstimator, ExactOnFullPass) {
+  Rng rng(1);
+  const Graph g = directed_preferential(400, 2, 0.5, rng);
+  for (auto kind :
+       {DegreeKind::kSymmetric, DegreeKind::kIn, DegreeKind::kOut}) {
+    const auto truth = degree_distribution(g, kind);
+    const auto est = estimate_degree_distribution(g, full_edge_pass(g), kind);
+    ASSERT_EQ(est.size(), truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      // Vertices with in/out degree 0 are invisible to edge sampling only
+      // if their symmetric degree is 0 too — here every vertex has an edge,
+      // so the full pass reproduces the exact distribution.
+      EXPECT_NEAR(est[i], truth[i], 1e-9) << "degree " << i;
+    }
+  }
+}
+
+TEST(DegreeDistributionEstimator, SumsToOne) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(300, 2, rng);
+  const SingleRandomWalk walker(g, {.steps = 5000});
+  const auto est = estimate_degree_distribution(
+      g, walker.run(rng).edges, DegreeKind::kSymmetric);
+  EXPECT_NEAR(std::accumulate(est.begin(), est.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(DegreeDistributionEstimator, EmptyInputIsEmpty) {
+  const Graph g = cycle_graph(4);
+  EXPECT_TRUE(
+      estimate_degree_distribution(g, {}, DegreeKind::kSymmetric).empty());
+}
+
+TEST(DegreeDistributionEstimator, ConvergesOnLongWalk) {
+  Rng rng(3);
+  const Graph g = barabasi_albert(150, 2, rng);
+  const auto truth = degree_distribution(g, DegreeKind::kSymmetric);
+  const SingleRandomWalk walker(g, {.steps = 500000});
+  const auto est = estimate_degree_distribution(
+      g, walker.run(rng).edges, DegreeKind::kSymmetric);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0.005) continue;  // skip rare degrees (noise dominated)
+    EXPECT_NEAR(est[i], truth[i], 0.15 * truth[i] + 0.002) << "degree " << i;
+  }
+}
+
+TEST(DegreeDistributionEstimator, FrontierSamplerConvergesToo) {
+  Rng rng(4);
+  const Graph g = barabasi_albert(150, 2, rng);
+  const auto truth = degree_distribution(g, DegreeKind::kSymmetric);
+  const FrontierSampler fs(g, {.dimension = 20, .steps = 500000});
+  const auto est = estimate_degree_distribution(g, fs.run(rng).edges,
+                                                DegreeKind::kSymmetric);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0.005) continue;
+    EXPECT_NEAR(est[i], truth[i], 0.15 * truth[i] + 0.002) << "degree " << i;
+  }
+}
+
+TEST(DegreeDistributionUniform, ExactWhenEveryVertexSampledOnce) {
+  Rng rng(5);
+  const Graph g = barabasi_albert(200, 2, rng);
+  std::vector<VertexId> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), 0);
+  const auto truth = degree_distribution(g, DegreeKind::kSymmetric);
+  const auto est =
+      estimate_degree_distribution_uniform(g, all, DegreeKind::kSymmetric);
+  ASSERT_EQ(est.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(est[i], truth[i], 1e-12);
+  }
+}
+
+TEST(DegreeCcdfEstimator, MatchesPdfThenCcdf) {
+  Rng rng(6);
+  const Graph g = barabasi_albert(100, 2, rng);
+  const SingleRandomWalk walker(g, {.steps = 2000});
+  Rng ra(50);
+  Rng rb(50);
+  const auto edges_a = walker.run(ra).edges;
+  const auto edges_b = walker.run(rb).edges;
+  const auto via_helper = estimate_degree_ccdf(g, edges_a, DegreeKind::kIn);
+  const auto manual = ccdf_from_pdf(
+      estimate_degree_distribution(g, edges_b, DegreeKind::kIn));
+  ASSERT_EQ(via_helper.size(), manual.size());
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    EXPECT_NEAR(via_helper[i], manual[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace frontier

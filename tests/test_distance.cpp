@@ -1,0 +1,89 @@
+#include "graph/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace frontier {
+namespace {
+
+TEST(BfsDistances, PathGraph) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+  EXPECT_THROW((void)bfs_distances(g, 9), std::out_of_range);
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(2, 3);
+  const Graph g = b.build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Eccentricity, CycleAndStar) {
+  EXPECT_EQ(eccentricity(cycle_graph(8), 0), 4u);
+  EXPECT_EQ(eccentricity(star_graph(6), 0), 1u);   // center
+  EXPECT_EQ(eccentricity(star_graph(6), 1), 2u);   // leaf
+}
+
+TEST(PseudoDiameter, ExactOnPathAndCycle) {
+  EXPECT_EQ(pseudo_diameter(path_graph(10), 5), 9u);
+  EXPECT_EQ(pseudo_diameter(cycle_graph(10)), 5u);
+  EXPECT_EQ(pseudo_diameter(complete_graph(7)), 1u);
+}
+
+TEST(PseudoDiameter, GabIsLongerThanEitherHalf) {
+  Rng rng(1);
+  const Graph ga = barabasi_albert(500, 2, rng);
+  const Graph gb = barabasi_albert(500, 2, rng);
+  const Graph gab = join_by_single_edge(ga, gb);
+  EXPECT_GE(pseudo_diameter(gab),
+            std::max(pseudo_diameter(ga), pseudo_diameter(gb)));
+}
+
+TEST(DistanceStatistics, ExactCompleteGraph) {
+  Rng rng(2);
+  const Graph g = complete_graph(10);
+  const DistanceStats s = distance_statistics(g, 0, rng);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+  EXPECT_EQ(s.max_seen, 1u);
+  EXPECT_EQ(s.reachable_pairs, 90u);
+  EXPECT_LE(s.effective_diameter, 1.0);
+}
+
+TEST(DistanceStatistics, PathMeanMatchesFormula) {
+  Rng rng(3);
+  const Graph g = path_graph(20);
+  const DistanceStats s = distance_statistics(g, 0, rng);
+  // Mean distance of a path P_n is (n+1)/3.
+  EXPECT_NEAR(s.mean, 21.0 / 3.0, 1e-9);
+  EXPECT_EQ(s.max_seen, 19u);
+}
+
+TEST(DistanceStatistics, SampledCloseToExact) {
+  Rng rng(4);
+  const Graph g = barabasi_albert(1500, 2, rng);
+  Rng ra(1), rb(2);
+  const DistanceStats exact = distance_statistics(g, 0, ra);
+  const DistanceStats sampled = distance_statistics(g, 200, rb);
+  EXPECT_NEAR(sampled.mean, exact.mean, 0.1 * exact.mean);
+  EXPECT_NEAR(sampled.effective_diameter, exact.effective_diameter, 1.5);
+}
+
+TEST(DistanceStatistics, SmallWorldIsShallow) {
+  Rng rng(5);
+  const Graph g = watts_strogatz(2000, 3, 0.1, rng);
+  const DistanceStats s = distance_statistics(g, 100, rng);
+  EXPECT_LT(s.effective_diameter, 15.0);  // rewiring shrinks distances
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,109 @@
+#include "sampling/distributed_fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sampling/frontier_sampler.hpp"
+
+namespace frontier {
+namespace {
+
+TEST(DistributedFs, RejectsBadConfig) {
+  Rng rng(1);
+  const Graph g = cycle_graph(4);
+  EXPECT_THROW(DistributedFrontierSampler(
+                   g, {.dimension = 0, .stop = {.max_steps = 10}}),
+               std::invalid_argument);
+  EXPECT_THROW(DistributedFrontierSampler(g, {.dimension = 2, .stop = {}}),
+               std::invalid_argument);
+}
+
+TEST(DistributedFs, StopsAtMaxSteps) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(50, 2, rng);
+  const DistributedFrontierSampler dfs(
+      g, {.dimension = 5, .stop = {.max_steps = 123}});
+  const SampleRecord rec = dfs.run(rng);
+  EXPECT_EQ(rec.edges.size(), 123u);
+  EXPECT_EQ(rec.starts.size(), 5u);
+}
+
+TEST(DistributedFs, TimeHorizonScalesEventCount) {
+  // Expected jump rate is the frontier degree sum; doubling the horizon
+  // should roughly double the sampled edges.
+  Rng rng(3);
+  const Graph g = barabasi_albert(200, 2, rng);
+  const DistributedFrontierSampler short_run(
+      g, {.dimension = 10, .stop = {.time_horizon = 50.0}});
+  const DistributedFrontierSampler long_run(
+      g, {.dimension = 10, .stop = {.time_horizon = 100.0}});
+  double short_total = 0.0;
+  double long_total = 0.0;
+  for (int r = 0; r < 30; ++r) {
+    Rng ra(100 + r);
+    Rng rb(100 + r);
+    short_total += static_cast<double>(short_run.run(ra).edges.size());
+    long_total += static_cast<double>(long_run.run(rb).edges.size());
+  }
+  EXPECT_NEAR(long_total / short_total, 2.0, 0.2);
+}
+
+TEST(DistributedFs, EdgesAreValid) {
+  Rng rng(4);
+  const Graph g = barabasi_albert(80, 2, rng);
+  const DistributedFrontierSampler dfs(
+      g, {.dimension = 4, .stop = {.max_steps = 500}});
+  const SampleRecord rec = dfs.run(rng);
+  for (const Edge& e : rec.edges) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+}
+
+TEST(DistributedFs, MatchesCentralizedFsEdgeLaw) {
+  // Theorem 5.5: the jump sequence of m independent exponential-clock
+  // walkers is a centralized FS process. Compare long-run per-vertex visit
+  // frequencies of both methods on the same graph.
+  Rng rng(5);
+  const Graph g = barabasi_albert(40, 2, rng);
+  const std::uint64_t steps = 300000;
+
+  Rng rng_fs(10);
+  const FrontierSampler fs(g, {.dimension = 6, .steps = steps});
+  std::vector<double> freq_fs(g.num_vertices(), 0.0);
+  for (const Edge& e : fs.run(rng_fs).edges) freq_fs[e.v] += 1.0;
+
+  Rng rng_dfs(20);
+  const DistributedFrontierSampler dfs(
+      g, {.dimension = 6, .stop = {.max_steps = steps}});
+  std::vector<double> freq_dfs(g.num_vertices(), 0.0);
+  for (const Edge& e : dfs.run(rng_dfs).edges) freq_dfs[e.v] += 1.0;
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double a = freq_fs[v] / static_cast<double>(steps);
+    const double b = freq_dfs[v] / static_cast<double>(steps);
+    EXPECT_NEAR(a, b, 0.2 * a + 0.002) << "vertex " << v;
+  }
+}
+
+TEST(DistributedFs, UniformEdgeSamplingInLongRun) {
+  Rng rng(6);
+  const Graph g = complete_graph(7);  // vol 42
+  const DistributedFrontierSampler dfs(
+      g, {.dimension = 3, .stop = {.max_steps = 200000}});
+  const SampleRecord rec = dfs.run(rng);
+  std::map<std::pair<VertexId, VertexId>, double> freq;
+  for (const Edge& e : rec.edges) freq[{e.u, e.v}] += 1.0;
+  const double expect = 1.0 / 42.0;
+  EXPECT_EQ(freq.size(), 42u);
+  for (const auto& [edge, count] : freq) {
+    EXPECT_NEAR(count / static_cast<double>(rec.edges.size()), expect,
+                0.15 * expect);
+  }
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,215 @@
+#include "sampling/frontier_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace frontier {
+namespace {
+
+// Validates that the edge sequence is a legal FS trajectory: replaying it
+// against the start multiset, every sampled edge must leave a vertex
+// currently occupied by some walker.
+void expect_valid_fs_trajectory(const Graph& g, const SampleRecord& rec) {
+  std::multiset<VertexId> occupancy(rec.starts.begin(), rec.starts.end());
+  for (std::size_t i = 0; i < rec.edges.size(); ++i) {
+    const Edge& e = rec.edges[i];
+    ASSERT_TRUE(g.has_edge(e.u, e.v)) << "step " << i;
+    const auto it = occupancy.find(e.u);
+    ASSERT_NE(it, occupancy.end()) << "step " << i << ": no walker at " << e.u;
+    occupancy.erase(it);
+    occupancy.insert(e.v);
+  }
+}
+
+TEST(FrontierSampler, RejectsZeroDimension) {
+  Rng rng(1);
+  const Graph g = cycle_graph(4);
+  EXPECT_THROW(FrontierSampler(g, {.dimension = 0}), std::invalid_argument);
+}
+
+TEST(FrontierSampler, ProducesRequestedSteps) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(100, 2, rng);
+  const FrontierSampler fs(g, {.dimension = 5, .steps = 300});
+  const SampleRecord rec = fs.run(rng);
+  EXPECT_EQ(rec.edges.size(), 300u);
+  EXPECT_EQ(rec.starts.size(), 5u);
+  EXPECT_DOUBLE_EQ(rec.cost, 305.0);
+}
+
+TEST(FrontierSampler, TrajectoryIsValidWeightedTree) {
+  Rng rng(3);
+  const Graph g = barabasi_albert(80, 2, rng);
+  const FrontierSampler fs(g, {.dimension = 7, .steps = 500});
+  expect_valid_fs_trajectory(g, fs.run(rng));
+}
+
+TEST(FrontierSampler, TrajectoryIsValidLinearScan) {
+  Rng rng(4);
+  const Graph g = barabasi_albert(80, 2, rng);
+  const FrontierSampler fs(
+      g, {.dimension = 7, .steps = 500,
+          .selection = FrontierSampler::Selection::kLinearScan});
+  expect_valid_fs_trajectory(g, fs.run(rng));
+}
+
+TEST(FrontierSampler, DimensionOneEqualsSingleWalkLaw) {
+  // With m = 1 FS degenerates to a plain random walk: stationary visit
+  // frequencies are degree proportional.
+  Rng rng(5);
+  const Graph g = barabasi_albert(40, 2, rng);
+  const FrontierSampler fs(g, {.dimension = 1, .steps = 300000});
+  const SampleRecord rec = fs.run(rng);
+  std::vector<double> freq(g.num_vertices(), 0.0);
+  for (const Edge& e : rec.edges) freq[e.v] += 1.0;
+  const double vol = static_cast<double>(g.volume());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double expect = static_cast<double>(g.degree(v)) / vol;
+    EXPECT_NEAR(freq[v] / static_cast<double>(rec.edges.size()), expect,
+                0.25 * expect + 0.001);
+  }
+}
+
+TEST(FrontierSampler, SamplesEdgesUniformlyInLongRun) {
+  // Theorem 5.2 (I): in steady state FS samples edges of G uniformly; by
+  // ergodicity the long-run empirical edge frequencies converge to 1/|E|.
+  Rng rng(6);
+  const Graph g = barabasi_albert(30, 2, rng);
+  const FrontierSampler fs(g, {.dimension = 4, .steps = 600000});
+  const SampleRecord rec = fs.run(rng);
+  std::map<std::pair<VertexId, VertexId>, double> freq;
+  for (const Edge& e : rec.edges) freq[{e.u, e.v}] += 1.0;
+  const double expect = 1.0 / static_cast<double>(g.volume());
+  EXPECT_EQ(freq.size(), g.volume());  // every ordered edge visited
+  for (const auto& [edge, count] : freq) {
+    EXPECT_NEAR(count / static_cast<double>(rec.edges.size()), expect,
+                0.25 * expect)
+        << edge.first << "->" << edge.second;
+  }
+}
+
+TEST(FrontierSampler, SelectionStrategiesAgreeInDistribution) {
+  // Both strategies must give the same degree-proportional walker choice;
+  // compare per-vertex visit frequencies on a fixed graph.
+  Rng rng(7);
+  const Graph g = barabasi_albert(50, 2, rng);
+  const std::uint64_t steps = 200000;
+  const FrontierSampler tree(g, {.dimension = 10, .steps = steps});
+  const FrontierSampler scan(
+      g, {.dimension = 10, .steps = steps,
+          .selection = FrontierSampler::Selection::kLinearScan});
+  Rng rng_a(100);
+  Rng rng_b(200);
+  std::vector<double> fa(g.num_vertices(), 0.0);
+  std::vector<double> fb(g.num_vertices(), 0.0);
+  for (const Edge& e : tree.run(rng_a).edges) fa[e.v] += 1.0;
+  for (const Edge& e : scan.run(rng_b).edges) fb[e.v] += 1.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(fa[v] / static_cast<double>(steps),
+                fb[v] / static_cast<double>(steps),
+                0.25 * fa[v] / static_cast<double>(steps) + 0.002);
+  }
+}
+
+TEST(FrontierSampler, RunFromValidatesStarts) {
+  Rng rng(8);
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);  // vertex 3 isolated
+  const Graph g = b.build();
+  const FrontierSampler fs(g, {.dimension = 2, .steps = 10});
+  const std::vector<VertexId> wrong_size{0};
+  EXPECT_THROW((void)fs.run_from(wrong_size, rng), std::invalid_argument);
+  const std::vector<VertexId> isolated{0, 3};
+  EXPECT_THROW((void)fs.run_from(isolated, rng), std::invalid_argument);
+  const std::vector<VertexId> ok{0, 2};
+  const SampleRecord rec = fs.run_from(ok, rng);
+  EXPECT_EQ(rec.starts, ok);
+  EXPECT_EQ(rec.edges.size(), 10u);
+}
+
+TEST(FrontierSampler, ReproducibleWithSameSeed) {
+  Rng setup(9);
+  const Graph g = barabasi_albert(60, 2, setup);
+  const FrontierSampler fs(g, {.dimension = 3, .steps = 100});
+  Rng a(77);
+  Rng b(77);
+  const SampleRecord ra = fs.run(a);
+  const SampleRecord rb = fs.run(b);
+  ASSERT_EQ(ra.edges.size(), rb.edges.size());
+  for (std::size_t i = 0; i < ra.edges.size(); ++i) {
+    EXPECT_EQ(ra.edges[i], rb.edges[i]);
+  }
+}
+
+TEST(FrontierSampler, WalkersStayInTheirComponents) {
+  // FS walkers also cannot jump components — the robustness comes from the
+  // budget re-allocation, not teleportation.
+  GraphBuilder b(6);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(2, 0);
+  b.add_undirected_edge(3, 4);
+  b.add_undirected_edge(4, 5);
+  b.add_undirected_edge(5, 3);
+  const Graph g = b.build();
+  Rng rng(10);
+  const FrontierSampler fs(g, {.dimension = 4, .steps = 200});
+  const SampleRecord rec = fs.run(rng);
+  expect_valid_fs_trajectory(g, rec);
+  for (const Edge& e : rec.edges) {
+    EXPECT_EQ(e.u < 3, e.v < 3);  // edges never cross components
+  }
+}
+
+TEST(FrontierSampler, AllocatesStepsByComponentVolume) {
+  // Two disconnected cliques, one dense (K10) one sparse (path of 10):
+  // in steady state FS spends budget proportional to component volume.
+  std::vector<Graph> parts;
+  parts.push_back(complete_graph(10));  // vol 90
+  parts.push_back(path_graph(10));      // vol 18
+  const Graph g = disjoint_union(parts);
+  Rng rng(11);
+  const FrontierSampler fs(g, {.dimension = 200, .steps = 200000});
+  const SampleRecord rec = fs.run(rng);
+  double dense_steps = 0.0;
+  for (const Edge& e : rec.edges) {
+    if (e.u < 10) dense_steps += 1.0;
+  }
+  const double frac = dense_steps / static_cast<double>(rec.edges.size());
+  // Walker placement is uniform (10 vertices each side -> half the
+  // walkers in each clique), but FS advances walkers ∝ degree, so the
+  // dense side gets ~90/(90+18) of the steps as m grows.
+  EXPECT_NEAR(frac, 90.0 / 108.0, 0.04);
+}
+
+class FrontierDimensionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrontierDimensionSweep, UniformEdgeSamplingHoldsForAllM) {
+  const std::size_t m = GetParam();
+  Rng rng(12);
+  const Graph g = complete_graph(8);  // vol 56, symmetric, fast mixing
+  const FrontierSampler fs(g, {.dimension = m, .steps = 150000});
+  const SampleRecord rec = fs.run(rng);
+  std::map<std::pair<VertexId, VertexId>, double> freq;
+  for (const Edge& e : rec.edges) freq[{e.u, e.v}] += 1.0;
+  const double expect = 1.0 / 56.0;
+  for (const auto& [edge, count] : freq) {
+    EXPECT_NEAR(count / static_cast<double>(rec.edges.size()), expect,
+                0.15 * expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, FrontierDimensionSweep,
+                         ::testing::Values(1, 2, 3, 8, 32, 128));
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,131 @@
+// Parameterized property sweeps over the random-graph generators: the
+// structural invariants every generator must satisfy for any parameters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace frontier {
+namespace {
+
+void expect_graph_invariants(const Graph& g) {
+  // Degree sums and CSR bookkeeping are mutually consistent.
+  std::uint64_t deg_sum = 0;
+  std::uint64_t out_sum = 0;
+  std::uint64_t in_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    deg_sum += g.degree(v);
+    out_sum += g.out_degree(v);
+    in_sum += g.in_degree(v);
+    const auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (VertexId w : nbrs) {
+      EXPECT_NE(w, v) << "self loop";
+      EXPECT_TRUE(g.has_edge(w, v)) << "asymmetric adjacency";
+    }
+  }
+  EXPECT_EQ(deg_sum, g.volume());
+  EXPECT_EQ(out_sum, g.num_directed_edges());
+  EXPECT_EQ(in_sum, g.num_directed_edges());
+  // Degree distribution is a distribution.
+  const auto theta = degree_distribution(g, DegreeKind::kSymmetric);
+  EXPECT_NEAR(std::accumulate(theta.begin(), theta.end(), 0.0), 1.0, 1e-9);
+}
+
+class BaSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BaSweep, InvariantsAndConnectivity) {
+  const auto [n, links] = GetParam();
+  Rng rng(n * 31 + links);
+  const Graph g = barabasi_albert(n, links, rng);
+  expect_graph_invariants(g);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_NEAR(g.average_degree(), 2.0 * static_cast<double>(links),
+              0.2 * static_cast<double>(links) + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, BaSweep,
+    ::testing::Values(std::make_tuple(50, 1), std::make_tuple(50, 3),
+                      std::make_tuple(500, 1), std::make_tuple(500, 4),
+                      std::make_tuple(3000, 2)));
+
+class DirectedPrefSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(DirectedPrefSweep, InvariantsHold) {
+  const auto [n, recip] = GetParam();
+  Rng rng(n * 17 + static_cast<std::uint64_t>(recip * 100));
+  const Graph g = directed_preferential(n, 3, recip, rng);
+  expect_graph_invariants(g);
+  // Reciprocity raises the directed edge count (up to 2x).
+  EXPECT_GE(g.num_directed_edges(), g.num_undirected_edges());
+  EXPECT_LE(g.num_directed_edges(), 2 * g.num_undirected_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, DirectedPrefSweep,
+                         ::testing::Values(std::make_tuple(200, 0.0),
+                                           std::make_tuple(200, 0.5),
+                                           std::make_tuple(200, 1.0),
+                                           std::make_tuple(2000, 0.3)));
+
+class GnpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GnpSweep, InvariantsAndDensity) {
+  const double p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p * 1e6) + 1);
+  const std::size_t n = 600;
+  const Graph g = erdos_renyi_gnp(n, p, rng);
+  expect_graph_invariants(g);
+  const double expected = p * static_cast<double>(n) * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_undirected_edges()), expected,
+              5.0 * std::sqrt(expected + 1.0) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, GnpSweep,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.2));
+
+class CommunitySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(CommunitySweep, ConnectedWithInvariants) {
+  const auto [communities, bridges] = GetParam();
+  Rng rng(communities * 7 + bridges);
+  const Graph g =
+      community_preferential(4000, 4, 0.5, communities, bridges, rng);
+  expect_graph_invariants(g);
+  EXPECT_EQ(g.num_vertices(), 4000u);
+  EXPECT_TRUE(is_connected(g)) << "chain bridges must connect all blocks";
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, CommunitySweep,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(5, 1),
+                                           std::make_tuple(12, 2),
+                                           std::make_tuple(30, 3)));
+
+class ConfigModelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConfigModelSweep, InvariantsHold) {
+  const double alpha = GetParam();
+  Rng rng(static_cast<std::uint64_t>(alpha * 10));
+  const auto degrees = power_law_degrees(2000, alpha, 1, 100, rng);
+  const Graph g = configuration_model(degrees, rng);
+  expect_graph_invariants(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ConfigModelSweep,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0));
+
+}  // namespace
+}  // namespace frontier

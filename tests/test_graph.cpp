@@ -1,0 +1,184 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace frontier {
+namespace {
+
+Graph tiny_directed() {
+  // 0 -> 1, 1 -> 2, 2 -> 0, 0 -> 2 (so (0,2) and (2,0) both exist).
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(0, 2);
+  return b.build();
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_directed_edges(), 0u);
+  EXPECT_EQ(g.volume(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, CountsDirectedAndSymmetricEdges) {
+  const Graph g = tiny_directed();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 4u);
+  // Symmetrized: undirected triangle -> 3 unordered pairs -> 6 ordered.
+  EXPECT_EQ(g.num_symmetric_edges(), 6u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  EXPECT_EQ(g.volume(), 6u);
+}
+
+TEST(Graph, DegreesMatchConstruction) {
+  const Graph g = tiny_directed();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const Graph g = tiny_directed();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(Graph, DirectionFlags) {
+  const Graph g = tiny_directed();
+  // (0,1): forward only.  (0,2): both directions exist.
+  const auto nbrs0 = g.neighbors(0);
+  const auto dirs0 = g.directions(0);
+  ASSERT_EQ(nbrs0.size(), 2u);
+  EXPECT_EQ(nbrs0[0], 1u);
+  EXPECT_EQ(dirs0[0], EdgeDir::kForward);
+  EXPECT_EQ(nbrs0[1], 2u);
+  EXPECT_EQ(dirs0[1], EdgeDir::kBoth);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = tiny_directed();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // symmetric counterpart
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 99));
+}
+
+TEST(Graph, HasDirectedEdgeRespectsOrientation) {
+  const Graph g = tiny_directed();
+  EXPECT_TRUE(g.has_directed_edge(0, 1));
+  EXPECT_FALSE(g.has_directed_edge(1, 0));
+  EXPECT_TRUE(g.has_directed_edge(0, 2));
+  EXPECT_TRUE(g.has_directed_edge(2, 0));
+}
+
+TEST(Graph, EdgeAtEnumeratesAllSlots) {
+  const Graph g = tiny_directed();
+  std::size_t count = 0;
+  for (EdgeIndex j = 0; j < g.volume(); ++j) {
+    const Edge e = g.edge_at(j);
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    ++count;
+  }
+  EXPECT_EQ(count, g.volume());
+}
+
+TEST(Graph, EdgeAtCoversEachVertexDegTimes) {
+  const Graph g = tiny_directed();
+  std::vector<int> source_count(g.num_vertices(), 0);
+  for (EdgeIndex j = 0; j < g.volume(); ++j) {
+    ++source_count[g.edge_at(j).u];
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(source_count[v], static_cast<int>(g.degree(v)));
+  }
+}
+
+TEST(Graph, MaxDegreeAndSummary) {
+  const Graph g = tiny_directed();
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_NE(g.summary().find("|V|=3"), std::string::npos);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeVertex) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(b.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_directed_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_directed_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilder, UndirectedEdgeAddsBothDirections) {
+  GraphBuilder b(2);
+  b.add_undirected_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_directed_edge(0, 1));
+  EXPECT_TRUE(g.has_directed_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+}
+
+TEST(GraphBuilder, IsolatedVerticesAllowed) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(GraphBuilder, BuilderIsReusable) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.num_directed_edges(), g2.num_directed_edges());
+  EXPECT_EQ(g1.volume(), g2.volume());
+}
+
+TEST(GraphBuilder, SymmetricDegreeCountsUnorderedAdjacencies) {
+  // Both (0,1) and (1,0): one unordered adjacency, degree 1 each.
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_directed_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+}  // namespace
+}  // namespace frontier

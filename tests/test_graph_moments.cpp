@@ -1,0 +1,98 @@
+#include "estimators/graph_moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sampling/frontier_sampler.hpp"
+#include "sampling/single_rw.hpp"
+
+namespace frontier {
+namespace {
+
+std::vector<Edge> full_edge_pass(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.volume());
+  for (EdgeIndex j = 0; j < g.volume(); ++j) edges.push_back(g.edge_at(j));
+  return edges;
+}
+
+TEST(AverageDegreeEstimator, ExactOnFullPass) {
+  Rng rng(1);
+  const Graph g = barabasi_albert(500, 3, rng);
+  EXPECT_NEAR(estimate_average_degree(g, full_edge_pass(g)),
+              g.average_degree(), 1e-9);
+}
+
+TEST(AverageDegreeEstimator, EmptyIsZero) {
+  const Graph g = cycle_graph(4);
+  EXPECT_DOUBLE_EQ(estimate_average_degree(g, {}), 0.0);
+}
+
+TEST(AverageDegreeEstimator, ConvergesOnWalk) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(300, 2, rng);
+  const SingleRandomWalk walker(g, {.steps = 200000});
+  const double est = estimate_average_degree(g, walker.run(rng).edges);
+  EXPECT_NEAR(est, g.average_degree(), 0.05 * g.average_degree());
+}
+
+TEST(AverageDegreeEstimator, UniformVariant) {
+  const Graph g = star_graph(5);  // degrees 4,1,1,1,1 -> mean 8/5
+  std::vector<VertexId> all{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(estimate_average_degree_uniform(g, all), 1.6);
+  EXPECT_DOUBLE_EQ(estimate_average_degree_uniform(g, {}), 0.0);
+}
+
+TEST(DegreeMomentEstimator, FirstMomentIsAverageDegree) {
+  Rng rng(3);
+  const Graph g = barabasi_albert(200, 2, rng);
+  const auto edges = full_edge_pass(g);
+  EXPECT_NEAR(estimate_degree_moment(g, edges, 1),
+              estimate_average_degree(g, edges), 1e-9);
+}
+
+TEST(DegreeMomentEstimator, SecondMomentExactOnFullPass) {
+  Rng rng(4);
+  const Graph g = barabasi_albert(200, 2, rng);
+  double truth = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double d = g.degree(v);
+    truth += d * d;
+  }
+  truth /= static_cast<double>(g.num_vertices());
+  EXPECT_NEAR(estimate_degree_moment(g, full_edge_pass(g), 2), truth, 1e-6);
+}
+
+TEST(DegreeMomentEstimator, ZerothMomentIsOne) {
+  Rng rng(5);
+  const Graph g = cycle_graph(5);
+  EXPECT_DOUBLE_EQ(estimate_degree_moment(g, full_edge_pass(g), 0), 1.0);
+  EXPECT_DOUBLE_EQ(estimate_degree_moment(g, {}, 0), 0.0);
+}
+
+TEST(VolumeEstimator, ExactOnFullPassGivenTrueN) {
+  Rng rng(6);
+  const Graph g = barabasi_albert(300, 3, rng);
+  const double est = estimate_volume(
+      g, full_edge_pass(g), static_cast<double>(g.num_vertices()));
+  EXPECT_NEAR(est, static_cast<double>(g.volume()), 1e-6);
+  EXPECT_THROW((void)estimate_volume(g, full_edge_pass(g), 0.0),
+               std::invalid_argument);
+}
+
+TEST(VolumeEstimator, FrontierSamplingEstimatesVolume) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(500, 3, rng);
+  const FrontierSampler fs(g, {.dimension = 20, .steps = 200000});
+  const double est = estimate_volume(
+      g, fs.run(rng).edges, static_cast<double>(g.num_vertices()));
+  EXPECT_NEAR(est, static_cast<double>(g.volume()),
+              0.05 * static_cast<double>(g.volume()));
+}
+
+}  // namespace
+}  // namespace frontier

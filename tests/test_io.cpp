@@ -1,0 +1,109 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace frontier {
+namespace {
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  ASSERT_EQ(a.volume(), b.volume());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v)) << "vertex " << v;
+    ASSERT_EQ(a.out_degree(v), b.out_degree(v)) << "vertex " << v;
+    ASSERT_EQ(a.in_degree(v), b.in_degree(v)) << "vertex " << v;
+  }
+}
+
+TEST(EdgeListIo, RoundTripDirected) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 0);
+  b.add_edge(0, 3);
+  const Graph g = b.build();
+
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph loaded = read_edge_list(ss);
+  expect_same_graph(g, loaded);
+}
+
+TEST(EdgeListIo, RoundTripRandomGraph) {
+  Rng rng(5);
+  const Graph g = barabasi_albert(300, 2, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  expect_same_graph(g, read_edge_list(ss));
+}
+
+TEST(EdgeListIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n0 1\n  # indented comment\n1 2\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 2u);
+}
+
+TEST(EdgeListIo, DensifiesSparseIds) {
+  std::stringstream ss("1000000 42\n42 7\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 2u);
+}
+
+TEST(EdgeListIo, ParseErrorThrows) {
+  std::stringstream ss("0 1\nnot numbers\n");
+  EXPECT_THROW((void)read_edge_list(ss), IoError);
+}
+
+TEST(BinaryIo, RoundTrip) {
+  Rng rng(6);
+  const Graph g = directed_preferential(200, 2, 0.4, rng);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, ss);
+  expect_same_graph(g, read_binary(ss));
+}
+
+TEST(BinaryIo, BadMagicThrows) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss << "garbage data here.....";
+  EXPECT_THROW((void)read_binary(ss), IoError);
+}
+
+TEST(BinaryIo, TruncatedStreamThrows) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(50, 1, rng);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, full);
+  const std::string bytes = full.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW((void)read_binary(cut), IoError);
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_edge_list_file("/nonexistent/path/graph.txt"),
+               IoError);
+  EXPECT_THROW((void)read_binary_file("/nonexistent/path/graph.bin"),
+               IoError);
+}
+
+TEST(FileIo, RoundTripThroughTempFiles) {
+  Rng rng(8);
+  const Graph g = barabasi_albert(100, 2, rng);
+  const std::string text_path = ::testing::TempDir() + "fs_graph.txt";
+  const std::string bin_path = ::testing::TempDir() + "fs_graph.bin";
+  write_edge_list_file(g, text_path);
+  write_binary_file(g, bin_path);
+  expect_same_graph(g, read_edge_list_file(text_path));
+  expect_same_graph(g, read_binary_file(bin_path));
+}
+
+}  // namespace
+}  // namespace frontier

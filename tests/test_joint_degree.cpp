@@ -1,0 +1,87 @@
+#include "estimators/joint_degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "estimators/assortativity.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sampling/single_rw.hpp"
+
+namespace frontier {
+namespace {
+
+std::vector<Edge> full_edge_pass(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.volume());
+  for (EdgeIndex j = 0; j < g.volume(); ++j) edges.push_back(g.edge_at(j));
+  return edges;
+}
+
+TEST(JointDegree, EmptyTable) {
+  const JointDegreeEstimate est;
+  EXPECT_EQ(est.count(), 0u);
+  EXPECT_DOUBLE_EQ(est.probability(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(est.marginal_out(1), 0.0);
+  EXPECT_DOUBLE_EQ(est.assortativity(), 0.0);
+}
+
+TEST(JointDegree, IgnoresNonDirectedEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  JointDegreeEstimate est;
+  est.absorb(g, Edge{1, 0});  // reverse orientation: not in E_d
+  EXPECT_EQ(est.count(), 0u);
+  est.absorb(g, Edge{0, 1});
+  EXPECT_EQ(est.count(), 1u);
+  EXPECT_DOUBLE_EQ(est.probability(1, 1), 1.0);
+}
+
+TEST(JointDegree, ProbabilitiesAndMarginalsSumToOne) {
+  Rng rng(1);
+  const Graph g = directed_preferential(300, 2, 0.5, rng);
+  const auto est = estimate_joint_degree(g, full_edge_pass(g));
+  double total = 0.0;
+  for (const auto& [key, n] : est.cells()) {
+    total += est.probability(key.first, key.second);
+    (void)n;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Spot-check a marginal: sum of probability over all in-degrees j for a
+  // fixed out-degree i equals marginal_out(i).
+  const auto first = est.cells().begin()->first;
+  double row = 0.0;
+  for (const auto& [key, n] : est.cells()) {
+    if (key.first == first.first) {
+      row += est.probability(key.first, key.second);
+    }
+    (void)n;
+  }
+  EXPECT_NEAR(row, est.marginal_out(first.first), 1e-12);
+}
+
+TEST(JointDegree, AssortativityMatchesMomentEstimator) {
+  Rng rng(2);
+  const Graph g = directed_preferential(400, 2, 0.4, rng);
+  const SingleRandomWalk walker(g, {.steps = 20000});
+  Rng ra(9);
+  Rng rb(9);
+  const auto edges_a = walker.run(ra).edges;
+  const auto edges_b = walker.run(rb).edges;
+  const auto table = estimate_joint_degree(g, edges_a);
+  EXPECT_NEAR(table.assortativity(), estimate_assortativity(g, edges_b),
+              1e-9);
+}
+
+TEST(JointDegree, AssortativityExactOnFullPass) {
+  Rng rng(3);
+  const Graph g = directed_preferential(300, 3, 0.6, rng);
+  const auto table = estimate_joint_degree(g, full_edge_pass(g));
+  EXPECT_NEAR(table.assortativity(), exact_assortativity(g), 1e-9);
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,170 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace frontier {
+namespace {
+
+TEST(DegreeDistribution, StarGraph) {
+  const Graph g = star_graph(5);  // center deg 4, four leaves deg 1
+  const auto theta = degree_distribution(g, DegreeKind::kSymmetric);
+  ASSERT_EQ(theta.size(), 5u);
+  EXPECT_DOUBLE_EQ(theta[1], 0.8);
+  EXPECT_DOUBLE_EQ(theta[4], 0.2);
+  EXPECT_DOUBLE_EQ(theta[0] + theta[2] + theta[3], 0.0);
+}
+
+TEST(DegreeDistribution, SumsToOne) {
+  Rng rng(1);
+  const Graph g = barabasi_albert(1000, 2, rng);
+  for (auto kind :
+       {DegreeKind::kSymmetric, DegreeKind::kIn, DegreeKind::kOut}) {
+    const auto theta = degree_distribution(g, kind);
+    const double total =
+        std::accumulate(theta.begin(), theta.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(DegreeDistribution, DirectedInVsOut) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);  // vertex 1: in-degree 2, out-degree 0
+  const Graph g = b.build();
+  const auto in = degree_distribution(g, DegreeKind::kIn);
+  const auto out = degree_distribution(g, DegreeKind::kOut);
+  EXPECT_DOUBLE_EQ(in[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0 / 3.0);
+}
+
+TEST(CcdfFromPdf, MatchesDefinition) {
+  const std::vector<double> theta{0.1, 0.2, 0.3, 0.4};
+  const auto gamma = ccdf_from_pdf(theta);
+  ASSERT_EQ(gamma.size(), 4u);
+  EXPECT_NEAR(gamma[0], 0.9, 1e-12);   // sum of theta[1..3]
+  EXPECT_NEAR(gamma[1], 0.7, 1e-12);
+  EXPECT_NEAR(gamma[2], 0.4, 1e-12);
+  EXPECT_NEAR(gamma[3], 0.0, 1e-12);
+}
+
+TEST(CcdfFromPdf, MonotoneNonIncreasing) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(2000, 2, rng);
+  const auto gamma =
+      ccdf_from_pdf(degree_distribution(g, DegreeKind::kSymmetric));
+  for (std::size_t i = 1; i < gamma.size(); ++i) {
+    EXPECT_LE(gamma[i], gamma[i - 1] + 1e-12);
+  }
+}
+
+TEST(ExactLabelDensity, CountsPredicate) {
+  const Graph g = path_graph(10);
+  const double frac = exact_label_density(
+      g, [](VertexId v) { return v % 2 == 0; });
+  EXPECT_DOUBLE_EQ(frac, 0.5);
+}
+
+TEST(SharedNeighbors, TriangleAndSquare) {
+  const Graph tri = complete_graph(3);
+  EXPECT_EQ(shared_neighbors(tri, 0, 1), 1u);
+  const Graph sq = cycle_graph(4);
+  EXPECT_EQ(shared_neighbors(sq, 0, 1), 0u);
+  EXPECT_EQ(shared_neighbors(sq, 0, 2), 2u);  // diagonal
+}
+
+TEST(TrianglesPerVertex, CompleteGraph) {
+  const Graph g = complete_graph(5);
+  const auto tri = triangles_per_vertex(g);
+  for (auto t : tri) EXPECT_EQ(t, 6u);  // C(4,2)
+}
+
+TEST(TrianglesPerVertex, TriangleFree) {
+  const Graph g = complete_bipartite(3, 3);
+  for (auto t : triangles_per_vertex(g)) EXPECT_EQ(t, 0u);
+}
+
+TEST(GlobalClustering, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(exact_global_clustering(complete_graph(6)), 1.0);
+}
+
+TEST(GlobalClustering, BipartiteIsZero) {
+  EXPECT_DOUBLE_EQ(exact_global_clustering(complete_bipartite(3, 4)), 0.0);
+}
+
+TEST(GlobalClustering, StarIsZero) {
+  // Only the center has degree >= 2 and it closes no triangles.
+  EXPECT_DOUBLE_EQ(exact_global_clustering(star_graph(6)), 0.0);
+}
+
+TEST(GlobalClustering, TriangleWithPendant) {
+  // Triangle {0,1,2} plus pendant 3 attached to 0.
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(2, 0);
+  b.add_undirected_edge(0, 3);
+  const Graph g = b.build();
+  // c(0) = 1/C(3,2) = 1/3, c(1) = c(2) = 1, vertex 3 excluded (deg 1).
+  EXPECT_NEAR(exact_global_clustering(g), (1.0 / 3.0 + 1.0 + 1.0) / 3.0,
+              1e-12);
+}
+
+TEST(Assortativity, ZeroOnDegreeRegularGraph) {
+  // All out/in degrees equal -> zero variance -> r = 0 by convention.
+  EXPECT_DOUBLE_EQ(exact_assortativity(cycle_graph(7)), 0.0);
+}
+
+TEST(Assortativity, StarIsStronglyDisassortative) {
+  // Undirected star: every directed edge connects deg-n-1 with deg-1.
+  const double r = exact_assortativity(star_graph(10));
+  EXPECT_NEAR(r, -1.0, 1e-9);
+}
+
+TEST(Assortativity, InRange) {
+  Rng rng(3);
+  const Graph g = barabasi_albert(2000, 2, rng);
+  const double r = exact_assortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(Assortativity, PositiveOnAssortativeConstruction) {
+  // Two cliques of different sizes joined by one edge: high-degree vertices
+  // mostly link to high-degree vertices.
+  const Graph joined =
+      join_by_single_edge(complete_graph(8), complete_graph(3));
+  EXPECT_GT(exact_assortativity(joined), 0.5);
+}
+
+TEST(Summarize, Table1Columns) {
+  GraphBuilder b(5);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(3, 4);
+  const Graph g = b.build();
+  const GraphSummary s = summarize(g, "toy");
+  EXPECT_EQ(s.name, "toy");
+  EXPECT_EQ(s.num_vertices, 5u);
+  EXPECT_EQ(s.lcc_size, 3u);
+  EXPECT_EQ(s.num_directed_edges, 6u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 6.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.wmax, 2.0 / (6.0 / 5.0));
+}
+
+TEST(DegreeOf, DispatchesKinds) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(degree_of(g, 0, DegreeKind::kOut), 1u);
+  EXPECT_EQ(degree_of(g, 0, DegreeKind::kIn), 0u);
+  EXPECT_EQ(degree_of(g, 0, DegreeKind::kSymmetric), 1u);
+}
+
+}  // namespace
+}  // namespace frontier

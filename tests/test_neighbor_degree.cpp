@@ -1,0 +1,69 @@
+#include "estimators/neighbor_degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sampling/frontier_sampler.hpp"
+
+namespace frontier {
+namespace {
+
+std::vector<Edge> full_edge_pass(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.volume());
+  for (EdgeIndex j = 0; j < g.volume(); ++j) edges.push_back(g.edge_at(j));
+  return edges;
+}
+
+TEST(AverageNeighborDegree, ExactStar) {
+  const Graph g = star_graph(5);
+  const auto knn = average_neighbor_degree(g);
+  // Leaves (deg 1) connect to the center (deg 4); center connects to
+  // leaves (deg 1).
+  ASSERT_GE(knn.size(), 5u);
+  EXPECT_DOUBLE_EQ(knn[1], 4.0);
+  EXPECT_DOUBLE_EQ(knn[4], 1.0);
+}
+
+TEST(AverageNeighborDegree, RegularGraphIsFlat) {
+  const Graph g = cycle_graph(8);
+  const auto knn = average_neighbor_degree(g);
+  EXPECT_DOUBLE_EQ(knn[2], 2.0);
+}
+
+TEST(AverageNeighborDegree, EstimatorExactOnFullPass) {
+  Rng rng(1);
+  const Graph g = barabasi_albert(300, 2, rng);
+  const auto truth = average_neighbor_degree(g);
+  const auto est = estimate_average_neighbor_degree(g, full_edge_pass(g));
+  ASSERT_EQ(est.size(), truth.size());
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(est[k], truth[k], 1e-9) << "degree " << k;
+  }
+}
+
+TEST(AverageNeighborDegree, EstimatorConvergesUnderFs) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(200, 2, rng);
+  const auto truth = average_neighbor_degree(g);
+  const FrontierSampler fs(g, {.dimension = 20, .steps = 400000});
+  const auto est = estimate_average_neighbor_degree(g, fs.run(rng).edges);
+  // Check well-populated degrees only.
+  const auto theta = degree_distribution(g, DegreeKind::kSymmetric);
+  for (std::size_t k = 0; k < truth.size() && k < est.size(); ++k) {
+    if (theta[k] < 0.02) continue;
+    EXPECT_NEAR(est[k], truth[k], 0.1 * truth[k]) << "degree " << k;
+  }
+}
+
+TEST(AverageNeighborDegree, EmptyInput) {
+  const Graph g = cycle_graph(4);
+  EXPECT_TRUE(estimate_average_neighbor_degree(g, {}).empty());
+}
+
+}  // namespace
+}  // namespace frontier

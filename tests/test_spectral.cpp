@@ -1,0 +1,78 @@
+#include "analysis/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace frontier {
+namespace {
+
+TEST(SpectralGap, RejectsDisconnectedAndEmpty) {
+  EXPECT_THROW((void)spectral_gap(Graph{}), std::invalid_argument);
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(2, 3);
+  EXPECT_THROW((void)spectral_gap(b.build()), std::invalid_argument);
+}
+
+TEST(SpectralGap, CompleteGraphKnownValue) {
+  // RW on K_n has eigenvalues 1 and -1/(n-1): lambda2 = -1/(n-1).
+  const Graph g = complete_graph(6);
+  const SpectralInfo s = spectral_gap(g);
+  EXPECT_NEAR(s.lambda2, -1.0 / 5.0, 1e-6);
+  EXPECT_NEAR(s.spectral_gap, 1.2, 1e-6);
+}
+
+TEST(SpectralGap, CycleKnownValue) {
+  // RW on C_n: lambda2 = cos(2*pi/n).
+  const std::size_t n = 12;
+  const Graph g = cycle_graph(n);
+  const SpectralInfo s = spectral_gap(g);
+  EXPECT_NEAR(s.lambda2, std::cos(2.0 * M_PI / static_cast<double>(n)),
+              1e-6);
+}
+
+TEST(SpectralGap, CompleteBipartiteSecondEigenvalue) {
+  // K_{a,b}: eigenvalues 1, 0 (multiplicity), -1. Second-largest real
+  // eigenvalue is 0 -> gap 1.
+  const Graph g = complete_bipartite(3, 4);
+  const SpectralInfo s = spectral_gap(g);
+  EXPECT_NEAR(s.lambda2, 0.0, 1e-6);
+}
+
+TEST(SpectralGap, LooselyConnectedGraphHasTinyGap) {
+  // Two cliques joined by one edge: a textbook bottleneck.
+  const Graph tight = complete_graph(16);
+  const Graph loose =
+      join_by_single_edge(complete_graph(16), complete_graph(16));
+  const SpectralInfo st = spectral_gap(tight);
+  const SpectralInfo sl = spectral_gap(loose);
+  EXPECT_LT(sl.spectral_gap, 0.1 * st.spectral_gap);
+  EXPECT_GT(sl.relaxation_time, 10.0 * st.relaxation_time);
+}
+
+TEST(SpectralGap, GabStyleGraphIsSlowMixing) {
+  Rng rng(1);
+  const Graph ga = barabasi_albert(200, 1, rng);
+  const Graph gb = barabasi_albert(200, 5, rng);
+  const Graph gab = join_by_single_edge(ga, gb);
+  const SpectralInfo s = spectral_gap(gab);
+  EXPECT_GT(s.relaxation_time, 100.0);
+}
+
+TEST(MixingTimeBound, ScalesWithRelaxationTime) {
+  const Graph g = cycle_graph(16);
+  const SpectralInfo s = spectral_gap(g);
+  const double t1 = mixing_time_bound(g, s, 0.25);
+  const double t2 = mixing_time_bound(g, s, 0.01);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GT(t2, t1);  // tighter epsilon needs more steps
+  EXPECT_THROW((void)mixing_time_bound(g, s, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,93 @@
+#include "analysis/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/components.hpp"
+#include "experiments/datasets.hpp"
+
+namespace frontier {
+namespace {
+
+TEST(SrwDeficit, ValidatesSteps) {
+  const Graph g = cycle_graph(5);
+  EXPECT_THROW((void)srw_edge_deficit_exact(g, 0), std::invalid_argument);
+}
+
+TEST(SrwDeficit, CompleteGraphMixesInstantly) {
+  // On K_n the uniform start is already stationary: the first sampled edge
+  // is uniform, so the deficit is ~0 at every horizon.
+  const Graph g = complete_graph(8);
+  EXPECT_NEAR(srw_edge_deficit_exact(g, 1), 0.0, 1e-9);
+  EXPECT_NEAR(srw_edge_deficit_exact(g, 10), 0.0, 1e-9);
+}
+
+TEST(SrwDeficit, DecreasesWithHorizon) {
+  Rng rng(1);
+  const Graph g = barabasi_albert(300, 2, rng);
+  const double d5 = srw_edge_deficit_exact(g, 5);
+  const double d50 = srw_edge_deficit_exact(g, 50);
+  const double d500 = srw_edge_deficit_exact(g, 500);
+  EXPECT_GT(d5, d50);
+  EXPECT_GT(d50, d500);
+  EXPECT_LT(d500, 0.2);
+}
+
+TEST(MrwDeficit, EqualsSrwAtPerWalkerHorizon) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(200, 2, rng);
+  // Budget 100, K = 10 -> floor(100/10 - 1) = 9 steps per walker.
+  EXPECT_DOUBLE_EQ(mrw_edge_deficit_exact(g, 10, 100.0),
+                   srw_edge_deficit_exact(g, 9));
+  EXPECT_THROW((void)mrw_edge_deficit_exact(g, 200, 100.0),
+               std::invalid_argument);
+}
+
+TEST(FsDeficit, ValidatesInput) {
+  Rng rng(3);
+  const Graph g = cycle_graph(5);
+  EXPECT_THROW((void)fs_edge_deficit_mc(g, 0, 5, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)fs_edge_deficit_mc(g, 2, 5, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(FsVertexEdgeRates, ApproachOneAtStationarity) {
+  // After a long horizon every vertex's edge rate (scaled) approaches 1.
+  Rng rng(4);
+  const Graph g = barabasi_albert(60, 2, rng);
+  const auto rates = fs_vertex_edge_rates_mc(g, 10, 400, 40000, rng);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(rates[v], 1.0, 0.1) << "vertex " << v;
+  }
+}
+
+TEST(FsDeficit, SmallerThanIndependentWalkersAtShortHorizon) {
+  // The Appendix B claim: FS converges to the uniform edge-sampling law
+  // faster than single/multiple independent walkers. Use a short budget on
+  // a slow-mixing graph so the independent walkers are still visibly
+  // transient (on fast mixers all three deficits are ~0 and the comparison
+  // drowns in Monte-Carlo noise).
+  ExperimentConfig cfg;
+  cfg.scale_multiplier = 0.1;
+  cfg.seed = 5;
+  const Dataset ds = synthetic_internet_rlt(cfg);
+  const Graph g = largest_connected_component(ds.graph).graph;
+  const double budget = 20.0;
+  const std::size_t k = 10;
+  Rng mc(6);
+  const double fs =
+      fs_edge_deficit_mc(g, k, static_cast<std::uint64_t>(budget) - k,
+                         800000, mc);
+  const double srw = srw_edge_deficit_exact(
+      g, static_cast<std::uint64_t>(budget) - 1);
+  const double mrw = mrw_edge_deficit_exact(g, k, budget);
+  EXPECT_GT(srw, 0.3) << "premise: SingleRW must still be transient";
+  EXPECT_LT(fs, 0.5 * srw);
+  EXPECT_LT(fs, 0.5 * mrw);
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,177 @@
+// Lemma 5.3 (exact K_fs law), Section 5.1 (alpha ratio), and Theorem 5.4
+// (K_fs -> K_un convergence).
+#include "analysis/walker_counts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/cartesian_power.hpp"
+#include "analysis/dense_chain.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace frontier {
+namespace {
+
+Graph triangle_with_pendant() {
+  GraphBuilder b(4);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(2, 0);
+  b.add_undirected_edge(0, 3);
+  return b.build();
+}
+
+TEST(SubsetStats, ComputesAverages) {
+  const Graph g = triangle_with_pendant();  // degrees 3,2,2,1; vol 8
+  const std::vector<VertexId> va{0, 3};
+  const SubsetStats s = subset_stats(g, va);
+  EXPECT_DOUBLE_EQ(s.p, 0.5);
+  EXPECT_DOUBLE_EQ(s.da, 2.0);   // (3+1)/2
+  EXPECT_DOUBLE_EQ(s.db, 2.0);   // (2+2)/2
+  EXPECT_DOUBLE_EQ(s.d, 2.0);
+}
+
+TEST(SubsetStats, ValidatesSubset) {
+  const Graph g = triangle_with_pendant();
+  const std::vector<VertexId> empty;
+  EXPECT_THROW((void)subset_stats(g, empty), std::invalid_argument);
+  const std::vector<VertexId> all{0, 1, 2, 3};
+  EXPECT_THROW((void)subset_stats(g, all), std::invalid_argument);
+  const std::vector<VertexId> dup{0, 0};
+  EXPECT_THROW((void)subset_stats(g, dup), std::invalid_argument);
+}
+
+TEST(BinomialPmf, SumsToOneAndMatchesKnownValues) {
+  const auto pmf = binomial_pmf(4, 0.5);
+  ASSERT_EQ(pmf.size(), 5u);
+  EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(pmf[0], 1.0 / 16.0, 1e-12);
+  EXPECT_NEAR(pmf[2], 6.0 / 16.0, 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  const auto zero = binomial_pmf(3, 0.0);
+  EXPECT_DOUBLE_EQ(zero[0], 1.0);
+  const auto one = binomial_pmf(3, 1.0);
+  EXPECT_DOUBLE_EQ(one[3], 1.0);
+  EXPECT_THROW((void)binomial_pmf(3, 1.5), std::invalid_argument);
+}
+
+TEST(KfsPmf, IsADistribution) {
+  const Graph g = triangle_with_pendant();
+  const std::vector<VertexId> va{0};
+  const SubsetStats s = subset_stats(g, va);
+  for (std::size_t m : {1, 2, 5, 20, 100}) {
+    const auto pmf = kfs_pmf(m, s);
+    EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-9)
+        << "m = " << m;
+  }
+}
+
+TEST(KfsPmf, MatchesDirectSummationOverStates) {
+  // Lemma 5.3 was derived by summing the Theorem 5.2 joint law over states
+  // with exactly k walkers in V_A — verify against brute-force enumeration.
+  const Graph g = triangle_with_pendant();
+  const std::vector<VertexId> va{0, 1};
+  const SubsetStats s = subset_stats(g, va);
+  const std::size_t m = 3;
+  const StateCodec codec(g.num_vertices(), m);
+  const auto pi = frontier_stationary_formula(g, m);
+  std::vector<double> brute(m + 1, 0.0);
+  for (std::size_t code = 0; code < codec.num_states(); ++code) {
+    std::size_t k = 0;
+    for (VertexId v : codec.decode(code)) {
+      if (v == 0 || v == 1) ++k;
+    }
+    brute[k] += pi[code];
+  }
+  const auto formula = kfs_pmf(m, s);
+  for (std::size_t k = 0; k <= m; ++k) {
+    EXPECT_NEAR(formula[k], brute[k], 1e-9) << "k = " << k;
+  }
+}
+
+TEST(KfsPmf, SizeBiasTowardHighVolumeSubsets) {
+  // A high-average-degree subset holds more FS walkers than uniform.
+  Rng rng(1);
+  const Graph ga = barabasi_albert(100, 1, rng);  // avg deg ~2
+  const Graph gb = barabasi_albert(100, 5, rng);  // avg deg ~10
+  const Graph g = join_by_single_edge(ga, gb);
+  std::vector<VertexId> vb(100);
+  std::iota(vb.begin(), vb.end(), 100);  // the dense half
+  const SubsetStats s = subset_stats(g, vb);
+  const std::size_t m = 50;
+  const auto fs = kfs_pmf(m, s);
+  const auto un = binomial_pmf(m, s.p);
+  double mean_fs = 0.0, mean_un = 0.0;
+  for (std::size_t k = 0; k <= m; ++k) {
+    mean_fs += static_cast<double>(k) * fs[k];
+    mean_un += static_cast<double>(k) * un[k];
+  }
+  EXPECT_GT(mean_fs, mean_un);
+  // But far less biased than independent stationary walkers:
+  const auto mw = kmw_pmf(m, s);
+  double mean_mw = 0.0;
+  for (std::size_t k = 0; k <= m; ++k) {
+    mean_mw += static_cast<double>(k) * mw[k];
+  }
+  EXPECT_GT(mean_mw, mean_fs);
+}
+
+TEST(Theorem54, KfsConvergesToKunInTotalVariation) {
+  const Graph g = triangle_with_pendant();
+  const std::vector<VertexId> va{0};
+  const SubsetStats s = subset_stats(g, va);
+  double prev = 1.0;
+  for (std::size_t m : {2, 8, 32, 128, 512}) {
+    const auto fs = kfs_pmf(m, s);
+    const auto un = binomial_pmf(m, s.p);
+    const double tvd = total_variation(fs, un);
+    EXPECT_LT(tvd, prev) << "m = " << m;
+    prev = tvd;
+  }
+  EXPECT_LT(prev, 0.02);  // essentially converged at m = 512
+}
+
+TEST(Theorem54, ConvergenceHoldsOnSkewedGraph) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(200, 2, rng);
+  std::vector<VertexId> va;
+  for (VertexId v = 0; v < 50; ++v) va.push_back(v);  // includes early hubs
+  const SubsetStats s = subset_stats(g, va);
+  EXPECT_GT(alpha_ratio(s), 1.0);  // early BA vertices are above-average
+  const double tvd_small = total_variation(kfs_pmf(4, s), binomial_pmf(4, s.p));
+  const double tvd_large =
+      total_variation(kfs_pmf(1024, s), binomial_pmf(1024, s.p));
+  EXPECT_LT(tvd_large, tvd_small);
+  EXPECT_LT(tvd_large, 0.05);
+}
+
+TEST(AlphaRatio, MatchesSection51) {
+  // alpha_A = d_A / d: the MultipleRW walker-count distortion.
+  const Graph g = triangle_with_pendant();
+  const std::vector<VertexId> hub{0};
+  EXPECT_DOUBLE_EQ(alpha_ratio(subset_stats(g, hub)), 3.0 / 2.0);
+  const std::vector<VertexId> leaf{3};
+  EXPECT_DOUBLE_EQ(alpha_ratio(subset_stats(g, leaf)), 1.0 / 2.0);
+}
+
+TEST(KmwPmf, MeanIsVolumeFraction) {
+  const Graph g = triangle_with_pendant();
+  const std::vector<VertexId> va{0};  // deg 3 of vol 8
+  const SubsetStats s = subset_stats(g, va);
+  const std::size_t m = 40;
+  const auto pmf = kmw_pmf(m, s);
+  double mean = 0.0;
+  for (std::size_t k = 0; k <= m; ++k) {
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  EXPECT_NEAR(mean, static_cast<double>(m) * 3.0 / 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,260 @@
+// frontier_cli — command-line front end to libfrontier.
+//
+//   frontier_cli summarize <edges.txt>
+//       Exact characteristics: Table-1 columns, components, clustering,
+//       assortativity.
+//   frontier_cli sample <edges.txt> [--method fs|srw|mrw|mh] [--budget N]
+//                [--dimension M] [--seed S]
+//       Crawl the graph with the chosen sampler and print estimated
+//       characteristics next to the exact values.
+//   frontier_cli generate --model ba|er|ws|gab [--n N] [--param P]
+//                [--seed S] --out <edges.txt>
+//       Write a synthetic graph as an edge list.
+//   frontier_cli convert <in> <out>
+//       Convert between text (.txt) and binary (.bin) formats by extension.
+//   frontier_cli spectral <edges.txt>
+//       Spectral gap / relaxation time of the RW kernel (graphs up to a few
+//       thousand vertices).
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/frontier.hpp"
+
+namespace {
+
+using namespace frontier;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_num(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+Graph load(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    return read_binary_file(path);
+  }
+  return read_edge_list_file(path);
+}
+
+void save(const Graph& g, const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    write_binary_file(g, path);
+  } else {
+    write_edge_list_file(g, path);
+  }
+}
+
+int cmd_summarize(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: frontier_cli summarize <edges.txt>\n";
+    return 2;
+  }
+  const Graph g = load(args.positional[0]);
+  const GraphSummary s = summarize(g, args.positional[0]);
+  const ComponentInfo comps = connected_components(g);
+
+  TextTable table({"characteristic", "value"});
+  table.add_row({"vertices", std::to_string(s.num_vertices)});
+  table.add_row({"directed edges", std::to_string(s.num_directed_edges)});
+  table.add_row({"avg symmetric degree", format_number(s.average_degree)});
+  table.add_row({"max/avg degree (wmax)", format_number(s.wmax)});
+  table.add_row({"components", std::to_string(comps.num_components())});
+  table.add_row({"LCC size", std::to_string(s.lcc_size)});
+  table.add_row({"bipartite", is_bipartite(g) ? "yes" : "no"});
+  table.add_row({"assortativity", format_number(exact_assortativity(g))});
+  table.add_row(
+      {"global clustering", format_number(exact_global_clustering(g))});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sample(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: frontier_cli sample <edges.txt> [--method fs] "
+                 "[--budget N] [--dimension M] [--seed S]\n";
+    return 2;
+  }
+  const Graph g = load(args.positional[0]);
+  const std::string method = args.get("method", "fs");
+  const double budget =
+      args.get_num("budget", static_cast<double>(g.num_vertices()) / 100.0);
+  auto m = static_cast<std::size_t>(args.get_num("dimension", 100));
+  if (static_cast<double>(m) * 2.0 > budget) {
+    m = std::max<std::size_t>(1, static_cast<std::size_t>(budget / 2.0));
+    std::cerr << "note: dimension clamped to " << m
+              << " so walkers keep at least half the budget for steps\n";
+  }
+  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 1)));
+
+  SampleRecord rec;
+  if (method == "fs") {
+    const FrontierSampler fs(
+        g, {.dimension = m, .steps = frontier_steps(budget, m, 1.0)});
+    rec = fs.run(rng);
+  } else if (method == "srw") {
+    const SingleRandomWalk srw(
+        g, {.steps = static_cast<std::uint64_t>(budget) - 1});
+    rec = srw.run(rng);
+  } else if (method == "mrw") {
+    const MultipleRandomWalks mrw(
+        g, {.num_walkers = m,
+            .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)});
+    rec = mrw.run(rng);
+  } else if (method == "mh") {
+    const MetropolisHastingsWalk mh(
+        g, {.steps = static_cast<std::uint64_t>(budget) - 1});
+    rec = mh.run(rng);
+  } else {
+    std::cerr << "unknown method: " << method << "\n";
+    return 2;
+  }
+
+  std::cout << "method=" << method << " budget=" << budget
+            << " sampled_edges=" << rec.edges.size() << "\n\n";
+  TextTable table({"characteristic", "estimate", "exact"});
+  if (method == "mh") {
+    table.add_row({"avg degree",
+                   format_number(estimate_average_degree_uniform(
+                       g, rec.vertices)),
+                   format_number(g.average_degree())});
+  } else {
+    table.add_row({"avg degree",
+                   format_number(estimate_average_degree(g, rec.edges)),
+                   format_number(g.average_degree())});
+    table.add_row({"assortativity",
+                   format_number(estimate_assortativity(g, rec.edges)),
+                   format_number(exact_assortativity(g))});
+    table.add_row({"global clustering",
+                   format_number(estimate_global_clustering(g, rec.edges)),
+                   format_number(exact_global_clustering(g))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string model = args.get("model", "ba");
+  const auto n = static_cast<std::size_t>(args.get_num("n", 10000));
+  const double param = args.get_num("param", 3);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::cerr << "generate: --out <path> is required\n";
+    return 2;
+  }
+  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 1)));
+  Graph g;
+  if (model == "ba") {
+    g = barabasi_albert(n, static_cast<std::size_t>(param), rng);
+  } else if (model == "er") {
+    g = erdos_renyi_gnp(n, param / static_cast<double>(n), rng);
+  } else if (model == "ws") {
+    g = watts_strogatz(n, static_cast<std::size_t>(param), 0.1, rng);
+  } else if (model == "gab") {
+    g = make_gab(n / 2, static_cast<std::uint64_t>(args.get_num("seed", 1)))
+            .graph;
+  } else {
+    std::cerr << "unknown model: " << model << "\n";
+    return 2;
+  }
+  save(g, out);
+  std::cout << "wrote " << g.summary() << " to " << out << "\n";
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  if (args.positional.size() != 2) {
+    std::cerr << "usage: frontier_cli convert <in> <out>\n";
+    return 2;
+  }
+  const Graph g = load(args.positional[0]);
+  save(g, args.positional[1]);
+  std::cout << "converted " << g.summary() << "\n";
+  return 0;
+}
+
+int cmd_spectral(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: frontier_cli spectral <edges.txt>\n";
+    return 2;
+  }
+  Graph g = load(args.positional[0]);
+  if (!is_connected(g)) {
+    std::cout << "graph is disconnected; analyzing the LCC\n";
+    g = largest_connected_component(g).graph;
+  }
+  if (g.num_vertices() > 20000) {
+    std::cerr << "spectral: graph too large (> 20000 vertices in LCC)\n";
+    return 2;
+  }
+  const SpectralInfo s = spectral_gap(g);
+  TextTable table({"quantity", "value"});
+  table.add_row({"lambda2", format_number(s.lambda2)});
+  table.add_row({"spectral gap", format_number(s.spectral_gap)});
+  table.add_row({"relaxation time", format_number(s.relaxation_time)});
+  table.add_row(
+      {"mixing time bound (eps=1/4)",
+       format_number(mixing_time_bound(g, s))});
+  table.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cerr << "frontier_cli <summarize|sample|generate|convert|spectral> "
+               "[args]\n(see the header comment of tools/frontier_cli.cpp "
+               "or README.md)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "summarize") return cmd_summarize(args);
+    if (cmd == "sample") return cmd_sample(args);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "convert") return cmd_convert(args);
+    if (cmd == "spectral") return cmd_spectral(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+  return 2;
+}
