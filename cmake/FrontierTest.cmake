@@ -1,0 +1,16 @@
+# Test registration helper.
+#
+# frontier_add_test(<name>) builds tests/<name>.cpp into an executable
+# linked against the frontier library and GoogleTest, and registers it
+# with ctest under the same name. All 41 seed test files plus any new
+# ones go through this one function so flags stay uniform.
+
+find_package(GTest REQUIRED)
+
+function(frontier_add_test name)
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name}
+    PRIVATE frontier GTest::gtest GTest::gtest_main Threads::Threads)
+  add_test(NAME ${name} COMMAND ${name})
+  set_tests_properties(${name} PROPERTIES TIMEOUT 300)
+endfunction()

@@ -1,0 +1,68 @@
+// Pins the public API surface: includes ONLY the umbrella header and
+// exercises one symbol from each of the eight modules. If a module is
+// dropped from core/frontier.hpp (or a flagship symbol renamed), this
+// test stops compiling.
+#include "core/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frontier {
+namespace {
+
+TEST(Umbrella, CoreVersionIsExposed) {
+  const Version v = library_version();
+  EXPECT_GE(v.major, 0);
+  EXPECT_STRNE(library_version_string(), "");
+}
+
+TEST(Umbrella, RandomModuleIsExposed) {
+  Rng rng(1);
+  const double u = uniform01(rng);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST(Umbrella, GraphModuleIsExposed) {
+  const Graph g = cycle_graph(8);
+  EXPECT_EQ(g.num_vertices(), 8u);
+}
+
+TEST(Umbrella, SamplingModuleIsExposed) {
+  Rng rng(7);
+  const Graph g = cycle_graph(16);
+  FrontierSampler::Config config;
+  config.dimension = 2;
+  config.steps = 32;
+  const FrontierSampler sampler(g, config);
+  const SampleRecord record = sampler.run(rng);
+  EXPECT_EQ(record.edges.size(), 32u);
+}
+
+TEST(Umbrella, EstimatorsModuleIsExposed) {
+  const Graph g = cycle_graph(8);
+  const auto pdf = degree_distribution(g, DegreeKind::kSymmetric);
+  ASSERT_GT(pdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(pdf[2], 1.0);  // every vertex of a cycle has degree 2
+}
+
+TEST(Umbrella, StatsModuleIsExposed) {
+  RunningStat stat;
+  stat.add(1.0);
+  stat.add(3.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+}
+
+TEST(Umbrella, AnalysisModuleIsExposed) {
+  const StateCodec codec(/*num_vertices=*/3, /*m=*/2);
+  EXPECT_EQ(codec.num_states(), 9u);
+}
+
+TEST(Umbrella, ExperimentsModuleIsExposed) {
+  const ExperimentConfig config;  // defaults, no env lookup
+  EXPECT_EQ(config.seed, 20100907u);
+  TextTable table({"k", "v"});
+  table.add_row({"a", "b"});
+}
+
+}  // namespace
+}  // namespace frontier

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-command local gate: configure, build everything, run ctest, then
+# rebuild the library with -Wall -Wextra -Werror to keep it warning-clean.
+#
+#   tools/check.sh [build-dir]    (default: build)
+#
+# Mirrors the tier-1 verify in ROADMAP.md; run before every push.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "== configure (${BUILD_DIR})"
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build (all targets, -j${JOBS})"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== warning-clean library build (-Wall -Wextra -Werror)"
+STRICT_DIR="${BUILD_DIR}-strict"
+cmake -B "$STRICT_DIR" -S . \
+  -DFRONTIER_WERROR=ON \
+  -DFRONTIER_BUILD_TESTS=OFF \
+  -DFRONTIER_BUILD_BENCH=OFF \
+  -DFRONTIER_BUILD_EXAMPLES=OFF \
+  -DFRONTIER_BUILD_TOOLS=OFF \
+  >/dev/null
+cmake --build "$STRICT_DIR" -j "$JOBS" --target frontier
+
+echo "== OK"
