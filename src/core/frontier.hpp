@@ -5,6 +5,8 @@
 //   * samplers (sampling/): SingleRandomWalk, MultipleRandomWalks,
 //     FrontierSampler, DistributedFrontierSampler, MetropolisHastingsWalk,
 //     RandomVertexSampler, RandomEdgeSampler,
+//   * streaming (stream/): SamplerCursor one-step iteration, online
+//     EstimatorSinks, StreamEngine, checkpoint/resume,
 //   * estimators (estimators/): label densities, degree distributions,
 //     assortativity, global clustering,
 //   * statistics (stats/): NMSE/CNMSE accumulators, analytic error models,
@@ -40,6 +42,12 @@
 #include "sampling/random_walk_with_jumps.hpp"
 #include "sampling/parallel_fs.hpp"
 #include "sampling/coverage.hpp"
+
+#include "stream/cursor.hpp"
+#include "stream/sampler_cursors.hpp"
+#include "stream/sinks.hpp"
+#include "stream/checkpoint.hpp"
+#include "stream/engine.hpp"
 
 #include "estimators/density.hpp"
 #include "estimators/degree_distribution.hpp"

@@ -18,6 +18,13 @@ namespace frontier {
 /// Incremental moment accumulator for (out-degree, in-degree) edge labels.
 class AssortativityAccumulator {
  public:
+  /// Plain-old-data snapshot of the moment sums, for checkpointing
+  /// (stream/checkpoint.hpp serializes it verbatim).
+  struct State {
+    std::uint64_t n = 0;
+    double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  };
+
   /// Adds one labeled edge with x = outdeg(u), y = indeg(v).
   void add(double x, double y) noexcept;
 
@@ -26,6 +33,18 @@ class AssortativityAccumulator {
 
   /// Current r̂; 0 if fewer than 2 samples or a zero-variance marginal.
   [[nodiscard]] double value() const noexcept;
+
+  [[nodiscard]] State state() const noexcept {
+    return {n_, sx_, sy_, sxx_, syy_, sxy_};
+  }
+  void restore(const State& s) noexcept {
+    n_ = s.n;
+    sx_ = s.sx;
+    sy_ = s.sy;
+    sxx_ = s.sxx;
+    syy_ = s.syy;
+    sxy_ = s.sxy;
+  }
 
  private:
   std::uint64_t n_ = 0;

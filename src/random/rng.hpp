@@ -69,6 +69,20 @@ class Xoshiro256StarStar {
     return out;
   }
 
+  /// The raw 256-bit engine state. Restoring a saved state resumes the
+  /// stream exactly where it left off (stream/ checkpoints rely on this).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
+  friend bool operator==(const Xoshiro256StarStar& a,
+                         const Xoshiro256StarStar& b) noexcept {
+    return a.state_ == b.state_;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -2,7 +2,8 @@
 
 #include <stdexcept>
 
-#include "random/weighted_tree.hpp"
+#include "stream/cursor.hpp"
+#include "stream/sampler_cursors.hpp"
 
 namespace frontier {
 
@@ -13,10 +14,15 @@ FrontierSampler::FrontierSampler(const Graph& g, Config config)
   }
 }
 
+// run()/run_from() are thin loops over FrontierCursor (stream/): the
+// cursor is the single implementation of Algorithm 1's step, so batch and
+// streaming results are byte-identical by construction.
+
 SampleRecord FrontierSampler::run(Rng& rng) const {
-  std::vector<VertexId> frontier(config_.dimension);
-  for (auto& v : frontier) v = start_sampler_.sample(rng);
-  return run_impl(std::move(frontier), rng);
+  FrontierCursor cursor(*graph_, config_, rng, start_sampler_);
+  SampleRecord rec = drain_cursor(cursor, config_.steps);
+  rng = cursor.rng();
+  return rec;
 }
 
 SampleRecord FrontierSampler::run_from(std::span<const VertexId> starts,
@@ -31,58 +37,11 @@ SampleRecord FrontierSampler::run_from(std::span<const VertexId> starts,
           "FrontierSampler::run_from: start vertex invalid or isolated");
     }
   }
-  return run_impl(std::vector<VertexId>(starts.begin(), starts.end()), rng);
-}
-
-SampleRecord FrontierSampler::run_impl(std::vector<VertexId> frontier,
-                                       Rng& rng) const {
-  const Graph& g = *graph_;
-  const std::size_t m = config_.dimension;
-
-  SampleRecord rec;
-  rec.starts = frontier;
-  rec.edges.reserve(config_.steps);
-  rec.cost = static_cast<double>(config_.steps) +
-             static_cast<double>(m) * config_.jump_cost;
-
-  if (config_.selection == Selection::kWeightedTree) {
-    std::vector<double> weights(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      weights[i] = static_cast<double>(g.degree(frontier[i]));
-    }
-    WeightedTree tree{std::span<const double>(weights)};
-    for (std::uint64_t n = 0; n < config_.steps; ++n) {
-      const std::size_t i = tree.sample(rng);  // line 4: walker ∝ degree
-      const VertexId u = frontier[i];
-      const VertexId v = step_uniform_neighbor(g, u, rng);  // line 5
-      rec.edges.push_back(Edge{u, v});                      // line 6
-      frontier[i] = v;
-      tree.set(i, static_cast<double>(g.degree(v)));
-    }
-  } else {
-    // Linear-scan selection: draw a threshold in [0, Σ deg) and walk the
-    // frontier until the cumulative degree passes it.
-    double total = 0.0;
-    for (VertexId v : frontier) total += static_cast<double>(g.degree(v));
-    for (std::uint64_t n = 0; n < config_.steps; ++n) {
-      const double target = uniform01(rng) * total;
-      double acc = 0.0;
-      std::size_t i = m - 1;
-      for (std::size_t k = 0; k < m; ++k) {
-        acc += static_cast<double>(g.degree(frontier[k]));
-        if (target < acc) {
-          i = k;
-          break;
-        }
-      }
-      const VertexId u = frontier[i];
-      const VertexId v = step_uniform_neighbor(g, u, rng);
-      rec.edges.push_back(Edge{u, v});
-      total += static_cast<double>(g.degree(v)) -
-               static_cast<double>(g.degree(u));
-      frontier[i] = v;
-    }
-  }
+  FrontierCursor cursor(*graph_, config_,
+                        std::vector<VertexId>(starts.begin(), starts.end()),
+                        rng);
+  SampleRecord rec = drain_cursor(cursor, config_.steps);
+  rng = cursor.rng();
   return rec;
 }
 

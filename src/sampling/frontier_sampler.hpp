@@ -50,11 +50,9 @@ class FrontierSampler {
                                       Rng& rng) const;
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
 
  private:
-  [[nodiscard]] SampleRecord run_impl(std::vector<VertexId> frontier,
-                                      Rng& rng) const;
-
   const Graph* graph_;
   Config config_;
   StartSampler start_sampler_;

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "stream/cursor.hpp"
+#include "stream/sampler_cursors.hpp"
+
 namespace frontier {
 
 MetropolisHastingsWalk::MetropolisHastingsWalk(const Graph& g, Config config)
@@ -11,26 +14,13 @@ MetropolisHastingsWalk::MetropolisHastingsWalk(const Graph& g, Config config)
   }
 }
 
-SampleRecord MetropolisHastingsWalk::run(Rng& rng) const {
-  const Graph& g = *graph_;
-  SampleRecord rec;
-  VertexId v =
-      config_.fixed_start ? *config_.fixed_start : start_sampler_.sample(rng);
-  rec.starts.push_back(v);
-  rec.vertices.reserve(config_.steps + 1);
-  rec.vertices.push_back(v);
+// run() is a thin loop over MetropolisCursor (stream/), the single
+// implementation of the propose/accept step.
 
-  for (std::uint64_t n = 0; n < config_.steps; ++n) {
-    const VertexId w = step_uniform_neighbor(g, v, rng);
-    const double accept = static_cast<double>(g.degree(v)) /
-                          static_cast<double>(g.degree(w));
-    if (accept >= 1.0 || uniform01(rng) < accept) {
-      rec.edges.push_back(Edge{v, w});
-      v = w;
-    }
-    rec.vertices.push_back(v);
-  }
-  rec.cost = static_cast<double>(config_.steps) + 1.0;
+SampleRecord MetropolisHastingsWalk::run(Rng& rng) const {
+  MetropolisCursor cursor(*graph_, config_, rng, start_sampler_);
+  SampleRecord rec = drain_cursor(cursor, 0, config_.steps + 1);
+  rng = cursor.rng();
   return rec;
 }
 

@@ -30,6 +30,8 @@ class MetropolisHastingsWalk {
   /// including the start), `edges` the accepted transitions.
   [[nodiscard]] SampleRecord run(Rng& rng) const;
 
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
  private:
   const Graph* graph_;
   Config config_;

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "stream/cursor.hpp"
+#include "stream/sampler_cursors.hpp"
+
 namespace frontier {
 
 MultipleRandomWalks::MultipleRandomWalks(const Graph& g, Config config)
@@ -11,18 +14,14 @@ MultipleRandomWalks::MultipleRandomWalks(const Graph& g, Config config)
   }
 }
 
+// run() is a thin loop over MultipleRwCursor (stream/): walker starts are
+// drawn lazily in walker order, reproducing the batch RNG interleaving.
+
 SampleRecord MultipleRandomWalks::run(Rng& rng) const {
-  SampleRecord rec;
-  rec.starts.reserve(config_.num_walkers);
-  rec.edges.reserve(config_.num_walkers * config_.steps_per_walker);
-  for (std::size_t w = 0; w < config_.num_walkers; ++w) {
-    const VertexId start = start_sampler_.sample(rng);
-    rec.starts.push_back(start);
-    walk_from(*graph_, start, config_.steps_per_walker, rng, rec.edges);
-  }
-  rec.cost = static_cast<double>(config_.num_walkers) *
-             (static_cast<double>(config_.steps_per_walker) +
-              config_.jump_cost);
+  MultipleRwCursor cursor(*graph_, config_, rng, start_sampler_);
+  SampleRecord rec = drain_cursor(
+      cursor, config_.num_walkers * config_.steps_per_walker);
+  rng = cursor.rng();
   return rec;
 }
 

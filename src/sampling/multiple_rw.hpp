@@ -25,6 +25,8 @@ class MultipleRandomWalks {
   /// order. Estimators aggregate them exactly as the paper does.
   [[nodiscard]] SampleRecord run(Rng& rng) const;
 
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
  private:
   const Graph* graph_;
   Config config_;

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "stream/cursor.hpp"
+#include "stream/sampler_cursors.hpp"
+
 namespace frontier {
 
 RandomWalkWithJumps::RandomWalkWithJumps(const Graph& g, Config config)
@@ -16,44 +19,13 @@ RandomWalkWithJumps::RandomWalkWithJumps(const Graph& g, Config config)
   }
 }
 
+// run() is a thin loop over RwjCursor (stream/), the single implementation
+// of the jump/step budget accounting.
+
 SampleRecord RandomWalkWithJumps::run(Rng& rng) const {
-  const Graph& g = *graph_;
-  SampleRecord rec;
-
-  // Initial placement is one paid jump.
-  const auto pay_jump = [&]() -> bool {
-    const std::uint64_t misses =
-        geometric_failures(rng, config_.cost.hit_ratio);
-    const double streak =
-        static_cast<double>(misses + 1) * config_.cost.jump_cost;
-    if (rec.cost + streak > config_.budget) {
-      rec.cost = config_.budget;
-      return false;
-    }
-    rec.cost += streak;
-    return true;
-  };
-
-  if (!pay_jump()) return rec;
-  VertexId v = start_sampler_.sample(rng);
-  rec.starts.push_back(v);
-  rec.vertices.push_back(v);
-
-  while (true) {
-    if (config_.jump_probability > 0.0 &&
-        bernoulli(rng, config_.jump_probability)) {
-      if (!pay_jump()) break;
-      v = start_sampler_.sample(rng);
-      rec.vertices.push_back(v);
-      continue;
-    }
-    if (rec.cost + 1.0 > config_.budget) break;
-    rec.cost += 1.0;
-    const VertexId w = step_uniform_neighbor(g, v, rng);
-    rec.edges.push_back(Edge{v, w});
-    rec.vertices.push_back(w);
-    v = w;
-  }
+  RwjCursor cursor(*graph_, config_, rng, start_sampler_);
+  SampleRecord rec = drain_cursor(cursor);
+  rng = cursor.rng();
   return rec;
 }
 

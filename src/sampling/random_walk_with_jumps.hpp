@@ -35,6 +35,8 @@ class RandomWalkWithJumps {
   /// every visited vertex including jump landings.
   [[nodiscard]] SampleRecord run(Rng& rng) const;
 
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
  private:
   const Graph* graph_;
   Config config_;

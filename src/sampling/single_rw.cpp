@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "stream/cursor.hpp"
+#include "stream/sampler_cursors.hpp"
+
 namespace frontier {
 
 SingleRandomWalk::SingleRandomWalk(const Graph& g, Config config)
@@ -17,28 +20,13 @@ SingleRandomWalk::SingleRandomWalk(const Graph& g, Config config)
   }
 }
 
+// run() is a thin loop over SingleRwCursor (stream/), the single
+// implementation of the walk/burn-in/laziness step.
+
 SampleRecord SingleRandomWalk::run(Rng& rng) const {
-  const Graph& g = *graph_;
-  SampleRecord rec;
-  VertexId u =
-      config_.fixed_start ? *config_.fixed_start : start_sampler_.sample(rng);
-  rec.starts.push_back(u);
-  rec.edges.reserve(config_.steps);
-
-  const auto advance = [&](bool record) {
-    if (config_.laziness > 0.0 && bernoulli(rng, config_.laziness)) {
-      return;  // lazy stay: budget spent, no sample
-    }
-    const VertexId v = step_uniform_neighbor(g, u, rng);
-    if (record) rec.edges.push_back(Edge{u, v});
-    u = v;
-  };
-
-  for (std::uint64_t i = 0; i < config_.burn_in; ++i) advance(false);
-  for (std::uint64_t i = 0; i < config_.steps; ++i) advance(true);
-
-  rec.cost = static_cast<double>(config_.burn_in) +
-             static_cast<double>(config_.steps) + 1.0;
+  SingleRwCursor cursor(*graph_, config_, rng, start_sampler_);
+  SampleRecord rec = drain_cursor(cursor, config_.steps);
+  rng = cursor.rng();
   return rec;
 }
 

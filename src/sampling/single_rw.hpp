@@ -32,6 +32,8 @@ class SingleRandomWalk {
   /// laziness), cost = burn_in + steps + 1 jump.
   [[nodiscard]] SampleRecord run(Rng& rng) const;
 
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
  private:
   const Graph* graph_;
   Config config_;

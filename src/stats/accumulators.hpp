@@ -10,6 +10,14 @@ namespace frontier {
 /// Welford's numerically stable running mean/variance.
 class RunningStat {
  public:
+  /// Plain-old-data snapshot of the accumulator, for checkpointing
+  /// (stream/checkpoint.hpp serializes it verbatim).
+  struct State {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+
   void add(double x) noexcept;
   void merge(const RunningStat& other) noexcept;
 
@@ -18,6 +26,13 @@ class RunningStat {
   /// Population variance (divides by n).
   [[nodiscard]] double variance() const noexcept;
   [[nodiscard]] double stddev() const noexcept;
+
+  [[nodiscard]] State state() const noexcept { return {n_, mean_, m2_}; }
+  void restore(const State& s) noexcept {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+  }
 
  private:
   std::uint64_t n_ = 0;

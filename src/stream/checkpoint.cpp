@@ -1,0 +1,110 @@
+#include "stream/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "stream/serialize.hpp"
+
+namespace frontier {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x46524f4e54534330ULL;  // "FRONTSC0"
+constexpr std::uint32_t kVersion = 1;
+
+using streamio::read_pod;
+using streamio::read_string;
+using streamio::write_pod;
+using streamio::write_string;
+
+}  // namespace
+
+void StreamCheckpoint::save(
+    std::ostream& os, const SamplerCursor& cursor,
+    std::span<const std::unique_ptr<EstimatorSink>> sinks,
+    std::uint64_t events) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(cursor.kind()));
+  // Graph fingerprint: restored walker positions index this graph's CSR
+  // arrays, so resuming against a different graph must fail loudly.
+  write_pod<std::uint64_t>(os, cursor.graph().num_vertices());
+  write_pod<std::uint64_t>(os, cursor.graph().volume());
+  cursor.save_state(os);
+  write_pod<std::uint64_t>(os, events);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(sinks.size()));
+  for (const auto& sink : sinks) {
+    write_string(os, std::string(sink->name()));
+    sink->save_state(os);
+  }
+  if (!os) throw IoError("StreamCheckpoint::save: stream failure");
+}
+
+std::uint64_t StreamCheckpoint::load(
+    std::istream& is, SamplerCursor& cursor,
+    std::span<const std::unique_ptr<EstimatorSink>> sinks) {
+  if (read_pod<std::uint64_t>(is) != kMagic) {
+    throw IoError("StreamCheckpoint::load: bad magic");
+  }
+  if (read_pod<std::uint32_t>(is) != kVersion) {
+    throw IoError("StreamCheckpoint::load: unsupported version");
+  }
+  const auto kind = read_pod<std::uint32_t>(is);
+  if (kind != static_cast<std::uint32_t>(cursor.kind())) {
+    throw IoError(
+        "StreamCheckpoint::load: checkpoint was taken with a different "
+        "sampler kind");
+  }
+  const auto num_vertices = read_pod<std::uint64_t>(is);
+  const auto volume = read_pod<std::uint64_t>(is);
+  if (num_vertices != cursor.graph().num_vertices() ||
+      volume != cursor.graph().volume()) {
+    throw IoError(
+        "StreamCheckpoint::load: checkpoint was taken on a different graph");
+  }
+  cursor.load_state(is);
+  const auto events = read_pod<std::uint64_t>(is);
+  const auto count = read_pod<std::uint32_t>(is);
+  if (count != sinks.size()) {
+    throw IoError("StreamCheckpoint::load: sink count mismatch");
+  }
+  for (const auto& sink : sinks) {
+    const std::string name = read_string(is);
+    if (name != sink->name()) {
+      throw IoError("StreamCheckpoint::load: sink order mismatch: expected " +
+                    std::string(sink->name()) + ", found " + name);
+    }
+    sink->load_state(is);
+  }
+  return events;
+}
+
+void StreamCheckpoint::save_file(
+    const std::string& path, const SamplerCursor& cursor,
+    std::span<const std::unique_ptr<EstimatorSink>> sinks,
+    std::uint64_t events) {
+  // Write-then-rename so a crash mid-save never destroys the previous
+  // good checkpoint — surviving crashes is the whole point of the file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios_base::out | std::ios_base::binary);
+    if (!f) throw IoError("cannot open for writing: " + tmp);
+    save(f, cursor, sinks, events);
+    f.close();
+    if (!f) throw IoError("StreamCheckpoint::save_file: write failure");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("StreamCheckpoint::save_file: cannot replace " + path);
+  }
+}
+
+std::uint64_t StreamCheckpoint::load_file(
+    const std::string& path, SamplerCursor& cursor,
+    std::span<const std::unique_ptr<EstimatorSink>> sinks) {
+  std::ifstream f(path, std::ios_base::in | std::ios_base::binary);
+  if (!f) throw IoError("cannot open for reading: " + path);
+  return load(f, cursor, sinks);
+}
+
+}  // namespace frontier

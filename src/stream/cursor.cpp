@@ -1,0 +1,20 @@
+#include "stream/cursor.hpp"
+
+namespace frontier {
+
+SampleRecord drain_cursor(SamplerCursor& cursor, std::uint64_t reserve_edges,
+                          std::uint64_t reserve_vertices) {
+  SampleRecord rec;
+  rec.edges.reserve(reserve_edges);
+  rec.vertices.reserve(reserve_vertices);
+  StreamEvent ev;
+  while (cursor.next(ev)) {
+    if (ev.has_edge) rec.edges.push_back(ev.edge);
+    if (ev.has_vertex) rec.vertices.push_back(ev.vertex);
+  }
+  rec.starts = cursor.starts();
+  rec.cost = cursor.cost();
+  return rec;
+}
+
+}  // namespace frontier

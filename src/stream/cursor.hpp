@@ -1,0 +1,104 @@
+// SamplerCursor — one-step-at-a-time sampling.
+//
+// Batch samplers (sampling/) materialize their whole SampleRecord before
+// any estimator runs, so memory grows linearly with the budget B. A cursor
+// instead exposes the same process as a pull iterator: each next() call
+// performs exactly one budgeted query of the crawled graph and reports
+// what that query observed (an edge, a vertex, or nothing — e.g. a lazy
+// stay or a failed jump). This mirrors how the paper's crawlers actually
+// operate (Section 2: samples arrive one API query at a time) and is the
+// substrate for online estimator sinks (stream/sinks.hpp) and
+// checkpoint/resume (stream/checkpoint.hpp).
+//
+// Contract: for every refactored sampler, draining a cursor reproduces the
+// batch run() byte-for-byte — identical RNG draw sequence, identical edge
+// and vertex sequences, identical starts and cost. The batch run() methods
+// are in fact thin loops over these cursors (see sampling/*.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/types.hpp"
+#include "random/rng.hpp"
+#include "sampling/walk.hpp"
+
+namespace frontier {
+
+/// What one budgeted step observed. A step may record an edge (walk
+/// transition), a vertex (visit/jump landing), both (RWJ walk steps,
+/// accepted MH moves), or neither (burn-in, lazy stays).
+struct StreamEvent {
+  Edge edge{};
+  VertexId vertex = kInvalidVertex;
+  bool has_edge = false;
+  bool has_vertex = false;
+
+  void clear() noexcept {
+    has_edge = false;
+    has_vertex = false;
+  }
+};
+
+/// Identifies the concrete cursor type inside a checkpoint header.
+enum class CursorKind : std::uint32_t {
+  kFrontier = 1,
+  kSingleRw = 2,
+  kMultipleRw = 3,
+  kRandomWalkWithJumps = 4,
+  kMetropolis = 5,
+};
+
+/// Abstract one-step sampler. Concrete cursors live in
+/// stream/sampler_cursors.hpp; each owns its RNG by value so that
+/// (cursor state, sink states) is a complete, serializable description of
+/// an in-flight crawl.
+class SamplerCursor {
+ public:
+  virtual ~SamplerCursor() = default;
+
+  /// Advances one budgeted step. Returns false once the budget is
+  /// exhausted (ev is left cleared); otherwise fills ev with whatever the
+  /// step observed (possibly nothing).
+  virtual bool next(StreamEvent& ev) = 0;
+
+  /// True once next() has returned (or would return) false.
+  [[nodiscard]] virtual bool done() const noexcept = 0;
+
+  /// Budget consumed so far; after exhaustion this equals the batch
+  /// run()'s SampleRecord::cost exactly.
+  [[nodiscard]] virtual double cost() const noexcept = 0;
+
+  /// Initial vertex of each walker, in the order they were drawn.
+  [[nodiscard]] virtual const std::vector<VertexId>& starts() const noexcept = 0;
+
+  /// The cursor's RNG. Batch run() wrappers copy this back into the
+  /// caller's generator after draining so the external stream position is
+  /// identical to the pre-refactor samplers.
+  [[nodiscard]] virtual const Rng& rng() const noexcept = 0;
+
+  [[nodiscard]] virtual CursorKind kind() const noexcept = 0;
+
+  /// The graph being crawled. Checkpoints fingerprint it (|V| and volume)
+  /// so a resume against a different graph fails loudly.
+  [[nodiscard]] virtual const Graph& graph() const noexcept = 0;
+
+  /// Serializes / restores the dynamic state (positions, counters, RNG).
+  /// The static configuration (graph, Config) is NOT stored: the caller
+  /// reconstructs the cursor from the same config and then load_state()s
+  /// into it. A configuration fingerprint is checked on load and a
+  /// mismatch throws IoError.
+  virtual void save_state(std::ostream& os) const = 0;
+  virtual void load_state(std::istream& is) = 0;
+};
+
+/// Runs a cursor to exhaustion and assembles the batch-equivalent
+/// SampleRecord. `reserve_edges`/`reserve_vertices` pre-size the record's
+/// vectors (batch run() wrappers pass their step counts to keep the old
+/// reserve behavior).
+[[nodiscard]] SampleRecord drain_cursor(SamplerCursor& cursor,
+                                        std::uint64_t reserve_edges = 0,
+                                        std::uint64_t reserve_vertices = 0);
+
+}  // namespace frontier

@@ -1,0 +1,51 @@
+#include "stream/engine.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace frontier {
+
+StreamEngine::StreamEngine(std::unique_ptr<SamplerCursor> cursor,
+                           SinkSet sinks)
+    : cursor_(std::move(cursor)), sinks_(std::move(sinks)) {
+  if (!cursor_) {
+    throw std::invalid_argument("StreamEngine: cursor required");
+  }
+}
+
+std::uint64_t StreamEngine::pump(std::uint64_t max_events) {
+  StreamEvent ev;
+  std::uint64_t taken = 0;
+  while (taken < max_events && cursor_->next(ev)) {
+    for (const auto& sink : sinks_) sink->consume(ev);
+    ++taken;
+  }
+  events_ += taken;
+  return taken;
+}
+
+std::uint64_t StreamEngine::run_to_completion() {
+  std::uint64_t total = 0;
+  while (!finished()) {
+    total += pump(std::numeric_limits<std::uint64_t>::max());
+  }
+  return total;
+}
+
+void StreamEngine::save_checkpoint(std::ostream& os) const {
+  StreamCheckpoint::save(os, *cursor_, sinks_, events_);
+}
+
+void StreamEngine::load_checkpoint(std::istream& is) {
+  events_ = StreamCheckpoint::load(is, *cursor_, sinks_);
+}
+
+void StreamEngine::save_checkpoint_file(const std::string& path) const {
+  StreamCheckpoint::save_file(path, *cursor_, sinks_, events_);
+}
+
+void StreamEngine::load_checkpoint_file(const std::string& path) {
+  events_ = StreamCheckpoint::load_file(path, *cursor_, sinks_);
+}
+
+}  // namespace frontier

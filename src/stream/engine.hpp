@@ -1,0 +1,57 @@
+// StreamEngine — wires a SamplerCursor to a set of EstimatorSinks.
+//
+// The engine pulls events from the cursor and pushes each into every sink,
+// in bounded chunks so long crawls stay interruptible (periodic
+// checkpointing, progress reporting, cooperative cancellation). Memory is
+// O(cursor state + sink buckets), independent of the budget — the whole
+// point of the streaming subsystem.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "stream/checkpoint.hpp"
+#include "stream/cursor.hpp"
+#include "stream/sinks.hpp"
+
+namespace frontier {
+
+class StreamEngine {
+ public:
+  StreamEngine(std::unique_ptr<SamplerCursor> cursor, SinkSet sinks);
+
+  /// Pumps at most `max_events` cursor steps through the sinks. Returns
+  /// the number of steps actually taken (< max_events iff the cursor ran
+  /// out of budget).
+  std::uint64_t pump(std::uint64_t max_events);
+
+  /// Pumps until the cursor is exhausted; returns steps taken.
+  std::uint64_t run_to_completion();
+
+  [[nodiscard]] bool finished() const noexcept { return cursor_->done(); }
+  /// Total cursor steps processed (resumes restore this from checkpoints).
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+  [[nodiscard]] const SamplerCursor& cursor() const noexcept {
+    return *cursor_;
+  }
+  [[nodiscard]] std::span<const std::unique_ptr<EstimatorSink>> sinks()
+      const noexcept {
+    return sinks_;
+  }
+
+  void save_checkpoint(std::ostream& os) const;
+  void load_checkpoint(std::istream& is);
+  void save_checkpoint_file(const std::string& path) const;
+  void load_checkpoint_file(const std::string& path);
+
+ private:
+  std::unique_ptr<SamplerCursor> cursor_;
+  SinkSet sinks_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace frontier

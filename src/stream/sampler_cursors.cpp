@@ -1,0 +1,569 @@
+#include "stream/sampler_cursors.hpp"
+
+#include <stdexcept>
+
+#include "stream/serialize.hpp"
+
+namespace frontier {
+
+namespace {
+
+using streamio::expect_pod;
+using streamio::read_pod;
+using streamio::read_vector;
+using streamio::write_pod;
+using streamio::write_vector;
+
+void write_rng(std::ostream& os, const Rng& rng) {
+  write_pod(os, rng.state());
+}
+
+void read_rng(std::istream& is, Rng& rng) {
+  rng.set_state(read_pod<std::array<std::uint64_t, 4>>(is));
+}
+
+// A restored position is about to be dereferenced against the CSR arrays;
+// a corrupt checkpoint must surface as IoError, not an out-of-bounds read.
+void check_position(const Graph& g, VertexId v, const char* what) {
+  if (v >= g.num_vertices() || g.degree(v) == 0) {
+    throw IoError(std::string("stream checkpoint: corrupt position: ") + what);
+  }
+}
+
+void write_optional_vertex(std::ostream& os,
+                           const std::optional<VertexId>& v) {
+  write_pod<std::uint8_t>(os, v.has_value() ? 1 : 0);
+  write_pod<VertexId>(os, v.value_or(kInvalidVertex));
+}
+
+[[nodiscard]] std::optional<VertexId> read_optional_vertex(std::istream& is) {
+  const auto has = read_pod<std::uint8_t>(is);
+  const auto v = read_pod<VertexId>(is);
+  return has ? std::optional<VertexId>(v) : std::nullopt;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Frontier
+
+FrontierCursor::FrontierCursor(const Graph& g, FrontierSampler::Config config,
+                               Rng rng)
+    : FrontierCursor(g, config, rng, StartSampler(g, config.start)) {}
+
+FrontierCursor::FrontierCursor(const Graph& g, FrontierSampler::Config config,
+                               Rng rng, const StartSampler& start_sampler)
+    : graph_(&g), config_(config), rng_(rng) {
+  if (config_.dimension == 0) {
+    throw std::invalid_argument("FrontierCursor: dimension m >= 1");
+  }
+  if (start_sampler.mode() != config_.start) {
+    throw std::invalid_argument(
+        "FrontierCursor: start sampler mode != config.start");
+  }
+  frontier_.resize(config_.dimension);
+  for (auto& v : frontier_) v = start_sampler.sample(rng_);
+  starts_ = frontier_;
+  init_selection();
+}
+
+FrontierCursor::FrontierCursor(const Graph& g, FrontierSampler::Config config,
+                               std::vector<VertexId> frontier, Rng rng)
+    : graph_(&g), config_(config), frontier_(std::move(frontier)), rng_(rng) {
+  if (config_.dimension == 0) {
+    throw std::invalid_argument("FrontierCursor: dimension m >= 1");
+  }
+  if (frontier_.size() != config_.dimension) {
+    throw std::invalid_argument(
+        "FrontierCursor: |frontier| must equal dimension");
+  }
+  for (VertexId v : frontier_) {
+    if (v >= g.num_vertices() || g.degree(v) == 0) {
+      throw std::invalid_argument(
+          "FrontierCursor: start vertex invalid or isolated");
+    }
+  }
+  starts_ = frontier_;
+  init_selection();
+}
+
+void FrontierCursor::init_selection() {
+  const Graph& g = *graph_;
+  if (config_.selection == FrontierSampler::Selection::kWeightedTree) {
+    std::vector<double> weights(frontier_.size());
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      weights[i] = static_cast<double>(g.degree(frontier_[i]));
+    }
+    tree_ = WeightedTree{std::span<const double>(weights)};
+  } else {
+    scan_total_ = 0.0;
+    for (VertexId v : frontier_) {
+      scan_total_ += static_cast<double>(g.degree(v));
+    }
+  }
+}
+
+bool FrontierCursor::next(StreamEvent& ev) {
+  ev.clear();
+  if (step_ == config_.steps) return false;
+  const Graph& g = *graph_;
+  if (config_.selection == FrontierSampler::Selection::kWeightedTree) {
+    const std::size_t i = tree_.sample(rng_);  // line 4: walker ∝ degree
+    const VertexId u = frontier_[i];
+    const VertexId v = step_uniform_neighbor(g, u, rng_);  // line 5
+    ev.edge = Edge{u, v};                                  // line 6
+    ev.has_edge = true;
+    frontier_[i] = v;
+    tree_.set(i, static_cast<double>(g.degree(v)));
+  } else {
+    // Linear-scan selection: draw a threshold in [0, Σ deg) and walk the
+    // frontier until the cumulative degree passes it.
+    const std::size_t m = config_.dimension;
+    const double target = uniform01(rng_) * scan_total_;
+    double acc = 0.0;
+    std::size_t i = m - 1;
+    for (std::size_t k = 0; k < m; ++k) {
+      acc += static_cast<double>(g.degree(frontier_[k]));
+      if (target < acc) {
+        i = k;
+        break;
+      }
+    }
+    const VertexId u = frontier_[i];
+    const VertexId v = step_uniform_neighbor(g, u, rng_);
+    ev.edge = Edge{u, v};
+    ev.has_edge = true;
+    scan_total_ += static_cast<double>(g.degree(v)) -
+                   static_cast<double>(g.degree(u));
+    frontier_[i] = v;
+  }
+  ++step_;
+  return true;
+}
+
+double FrontierCursor::cost() const noexcept {
+  return static_cast<double>(step_) +
+         static_cast<double>(config_.dimension) * config_.jump_cost;
+}
+
+void FrontierCursor::save_state(std::ostream& os) const {
+  write_pod<std::uint64_t>(os, config_.dimension);
+  write_pod<std::uint64_t>(os, config_.steps);
+  write_pod<double>(os, config_.jump_cost);
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(config_.start));
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(config_.selection));
+  write_pod<std::uint64_t>(os, step_);
+  write_vector(os, frontier_);
+  write_vector(os, starts_);
+  write_pod<double>(os, scan_total_);
+  write_rng(os, rng_);
+}
+
+void FrontierCursor::load_state(std::istream& is) {
+  expect_pod<std::uint64_t>(is, config_.dimension, "dimension");
+  expect_pod<std::uint64_t>(is, config_.steps, "steps");
+  expect_pod<double>(is, config_.jump_cost, "jump_cost");
+  expect_pod<std::uint8_t>(is, static_cast<std::uint8_t>(config_.start),
+                           "start mode");
+  expect_pod<std::uint8_t>(is, static_cast<std::uint8_t>(config_.selection),
+                           "selection");
+  step_ = read_pod<std::uint64_t>(is);
+  frontier_ = read_vector<VertexId>(is);
+  starts_ = read_vector<VertexId>(is);
+  const double scan_total = read_pod<double>(is);
+  read_rng(is, rng_);
+  if (frontier_.size() != config_.dimension || step_ > config_.steps) {
+    throw IoError("FrontierCursor: corrupt checkpoint (frontier size)");
+  }
+  for (VertexId v : frontier_) check_position(*graph_, v, "frontier");
+  // The Fenwick tree is a pure function of the frontier degrees (integer
+  // weights, so the rebuild is bit-exact); the scan total is restored
+  // verbatim to preserve its accumulated value.
+  init_selection();
+  scan_total_ = scan_total;
+}
+
+// ---------------------------------------------------------------- SingleRW
+
+SingleRwCursor::SingleRwCursor(const Graph& g, SingleRandomWalk::Config config,
+                               Rng rng)
+    : SingleRwCursor(g, config, rng, StartSampler(g, config.start)) {}
+
+SingleRwCursor::SingleRwCursor(const Graph& g, SingleRandomWalk::Config config,
+                               Rng rng, const StartSampler& start_sampler)
+    : graph_(&g), config_(config), rng_(rng) {
+  if (config_.fixed_start && *config_.fixed_start >= g.num_vertices()) {
+    throw std::out_of_range("SingleRwCursor: fixed_start out of range");
+  }
+  if (config_.fixed_start && g.degree(*config_.fixed_start) == 0) {
+    throw std::invalid_argument("SingleRwCursor: fixed_start is isolated");
+  }
+  if (config_.laziness < 0.0 || config_.laziness >= 1.0) {
+    throw std::invalid_argument("SingleRwCursor: laziness in [0, 1)");
+  }
+  if (start_sampler.mode() != config_.start) {
+    throw std::invalid_argument(
+        "SingleRwCursor: start sampler mode != config.start");
+  }
+  u_ = config_.fixed_start ? *config_.fixed_start : start_sampler.sample(rng_);
+  starts_.push_back(u_);
+}
+
+bool SingleRwCursor::next(StreamEvent& ev) {
+  ev.clear();
+  const bool burning = burn_done_ < config_.burn_in;
+  if (!burning && step_ == config_.steps) return false;
+  if (config_.laziness > 0.0 && bernoulli(rng_, config_.laziness)) {
+    // lazy stay: budget spent, no sample
+  } else {
+    const VertexId v = step_uniform_neighbor(*graph_, u_, rng_);
+    if (!burning) {
+      ev.edge = Edge{u_, v};
+      ev.has_edge = true;
+    }
+    u_ = v;
+  }
+  if (burning) {
+    ++burn_done_;
+  } else {
+    ++step_;
+  }
+  return true;
+}
+
+double SingleRwCursor::cost() const noexcept {
+  return static_cast<double>(burn_done_) + static_cast<double>(step_) + 1.0;
+}
+
+void SingleRwCursor::save_state(std::ostream& os) const {
+  write_pod<std::uint64_t>(os, config_.steps);
+  write_pod<std::uint64_t>(os, config_.burn_in);
+  write_pod<double>(os, config_.laziness);
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(config_.start));
+  write_optional_vertex(os, config_.fixed_start);
+  write_pod<VertexId>(os, u_);
+  write_pod<std::uint64_t>(os, burn_done_);
+  write_pod<std::uint64_t>(os, step_);
+  write_vector(os, starts_);
+  write_rng(os, rng_);
+}
+
+void SingleRwCursor::load_state(std::istream& is) {
+  expect_pod<std::uint64_t>(is, config_.steps, "steps");
+  expect_pod<std::uint64_t>(is, config_.burn_in, "burn_in");
+  expect_pod<double>(is, config_.laziness, "laziness");
+  expect_pod<std::uint8_t>(is, static_cast<std::uint8_t>(config_.start),
+                           "start mode");
+  const auto fixed = read_optional_vertex(is);
+  if (fixed != config_.fixed_start) {
+    throw IoError("stream checkpoint: configuration mismatch: fixed_start");
+  }
+  u_ = read_pod<VertexId>(is);
+  burn_done_ = read_pod<std::uint64_t>(is);
+  step_ = read_pod<std::uint64_t>(is);
+  starts_ = read_vector<VertexId>(is);
+  read_rng(is, rng_);
+  check_position(*graph_, u_, "walker");
+  if (burn_done_ > config_.burn_in || step_ > config_.steps) {
+    throw IoError("SingleRwCursor: corrupt checkpoint (counters)");
+  }
+}
+
+// -------------------------------------------------------------- MultipleRW
+
+MultipleRwCursor::MultipleRwCursor(const Graph& g,
+                                   MultipleRandomWalks::Config config, Rng rng)
+    : graph_(&g),
+      config_(config),
+      owned_start_(std::in_place, g, config.start),
+      start_sampler_(&*owned_start_),
+      rng_(rng) {
+  if (config_.num_walkers == 0) {
+    throw std::invalid_argument("MultipleRwCursor: num_walkers >= 1");
+  }
+  starts_.reserve(config_.num_walkers);
+}
+
+MultipleRwCursor::MultipleRwCursor(const Graph& g,
+                                   MultipleRandomWalks::Config config, Rng rng,
+                                   const StartSampler& start_sampler)
+    : graph_(&g),
+      config_(config),
+      start_sampler_(&start_sampler),
+      rng_(rng) {
+  if (config_.num_walkers == 0) {
+    throw std::invalid_argument("MultipleRwCursor: num_walkers >= 1");
+  }
+  if (start_sampler.mode() != config_.start) {
+    throw std::invalid_argument(
+        "MultipleRwCursor: start sampler mode != config.start");
+  }
+  starts_.reserve(config_.num_walkers);
+}
+
+bool MultipleRwCursor::next(StreamEvent& ev) {
+  ev.clear();
+  if (walker_ == config_.num_walkers) return false;
+  if (starts_.size() == walker_) {
+    // Current walker not yet placed: this query is its start jump.
+    u_ = start_sampler_->sample(rng_);
+    starts_.push_back(u_);
+    if (config_.steps_per_walker == 0) ++walker_;
+    return true;
+  }
+  const VertexId v = step_uniform_neighbor(*graph_, u_, rng_);
+  ev.edge = Edge{u_, v};
+  ev.has_edge = true;
+  u_ = v;
+  ++step_;
+  if (step_ == config_.steps_per_walker) {
+    ++walker_;
+    step_ = 0;
+  }
+  return true;
+}
+
+double MultipleRwCursor::cost() const noexcept {
+  if (walker_ == config_.num_walkers) {
+    // Finished: the exact batch expression, m * (steps + c).
+    return static_cast<double>(config_.num_walkers) *
+           (static_cast<double>(config_.steps_per_walker) + config_.jump_cost);
+  }
+  const std::uint64_t steps_done =
+      static_cast<std::uint64_t>(walker_) * config_.steps_per_walker + step_;
+  return static_cast<double>(starts_.size()) * config_.jump_cost +
+         static_cast<double>(steps_done);
+}
+
+void MultipleRwCursor::save_state(std::ostream& os) const {
+  write_pod<std::uint64_t>(os, config_.num_walkers);
+  write_pod<std::uint64_t>(os, config_.steps_per_walker);
+  write_pod<double>(os, config_.jump_cost);
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(config_.start));
+  write_vector(os, starts_);
+  write_pod<VertexId>(os, u_);
+  write_pod<std::uint64_t>(os, walker_);
+  write_pod<std::uint64_t>(os, step_);
+  write_rng(os, rng_);
+}
+
+void MultipleRwCursor::load_state(std::istream& is) {
+  expect_pod<std::uint64_t>(is, config_.num_walkers, "num_walkers");
+  expect_pod<std::uint64_t>(is, config_.steps_per_walker, "steps_per_walker");
+  expect_pod<double>(is, config_.jump_cost, "jump_cost");
+  expect_pod<std::uint8_t>(is, static_cast<std::uint8_t>(config_.start),
+                           "start mode");
+  starts_ = read_vector<VertexId>(is);
+  u_ = read_pod<VertexId>(is);
+  walker_ = read_pod<std::uint64_t>(is);
+  step_ = read_pod<std::uint64_t>(is);
+  read_rng(is, rng_);
+  if (walker_ > config_.num_walkers || starts_.size() > config_.num_walkers) {
+    throw IoError("MultipleRwCursor: corrupt checkpoint (counters)");
+  }
+  if (starts_.size() > walker_) {
+    // Current walker is placed; u_ is dereferenced on the next step.
+    check_position(*graph_, u_, "walker");
+  }
+}
+
+// --------------------------------------------------------------------- RWJ
+
+RwjCursor::RwjCursor(const Graph& g, RandomWalkWithJumps::Config config,
+                     Rng rng)
+    : graph_(&g),
+      config_(config),
+      owned_start_(std::in_place, g, StartMode::kUniform),
+      start_sampler_(&*owned_start_),
+      rng_(rng) {
+  init();
+}
+
+RwjCursor::RwjCursor(const Graph& g, RandomWalkWithJumps::Config config,
+                     Rng rng, const StartSampler& start_sampler)
+    : graph_(&g),
+      config_(config),
+      start_sampler_(&start_sampler),
+      rng_(rng) {
+  if (start_sampler.mode() != StartMode::kUniform) {
+    throw std::invalid_argument("RwjCursor: start sampler must be kUniform");
+  }
+  init();
+}
+
+void RwjCursor::init() {
+  if (config_.jump_probability < 0.0 || config_.jump_probability > 1.0) {
+    throw std::invalid_argument("RwjCursor: jump_probability");
+  }
+  if (config_.cost.hit_ratio <= 0.0 || config_.cost.hit_ratio > 1.0) {
+    throw std::invalid_argument("RwjCursor: hit_ratio in (0,1]");
+  }
+  // Initial placement is one paid jump.
+  if (!pay_jump()) {
+    done_ = true;
+    return;
+  }
+  v_ = start_sampler_->sample(rng_);
+  starts_.push_back(v_);
+  pending_vertex_ = v_;
+}
+
+bool RwjCursor::pay_jump() {
+  const std::uint64_t misses =
+      geometric_failures(rng_, config_.cost.hit_ratio);
+  const double streak =
+      static_cast<double>(misses + 1) * config_.cost.jump_cost;
+  if (cost_ + streak > config_.budget) {
+    cost_ = config_.budget;
+    return false;
+  }
+  cost_ += streak;
+  return true;
+}
+
+bool RwjCursor::next(StreamEvent& ev) {
+  ev.clear();
+  if (pending_vertex_) {
+    ev.vertex = *pending_vertex_;
+    ev.has_vertex = true;
+    pending_vertex_.reset();
+    return true;
+  }
+  if (done_) return false;
+  if (config_.jump_probability > 0.0 &&
+      bernoulli(rng_, config_.jump_probability)) {
+    if (!pay_jump()) {
+      done_ = true;
+      return false;
+    }
+    v_ = start_sampler_->sample(rng_);
+    ev.vertex = v_;
+    ev.has_vertex = true;
+    return true;
+  }
+  if (cost_ + 1.0 > config_.budget) {
+    done_ = true;
+    return false;
+  }
+  cost_ += 1.0;
+  const VertexId w = step_uniform_neighbor(*graph_, v_, rng_);
+  ev.edge = Edge{v_, w};
+  ev.has_edge = true;
+  ev.vertex = w;
+  ev.has_vertex = true;
+  v_ = w;
+  return true;
+}
+
+void RwjCursor::save_state(std::ostream& os) const {
+  write_pod<double>(os, config_.budget);
+  write_pod<double>(os, config_.jump_probability);
+  write_pod<double>(os, config_.cost.jump_cost);
+  write_pod<double>(os, config_.cost.hit_ratio);
+  write_vector(os, starts_);
+  write_pod<VertexId>(os, v_);
+  write_optional_vertex(os, pending_vertex_);
+  write_pod<double>(os, cost_);
+  write_pod<std::uint8_t>(os, done_ ? 1 : 0);
+  write_rng(os, rng_);
+}
+
+void RwjCursor::load_state(std::istream& is) {
+  expect_pod<double>(is, config_.budget, "budget");
+  expect_pod<double>(is, config_.jump_probability, "jump_probability");
+  expect_pod<double>(is, config_.cost.jump_cost, "jump_cost");
+  expect_pod<double>(is, config_.cost.hit_ratio, "hit_ratio");
+  starts_ = read_vector<VertexId>(is);
+  v_ = read_pod<VertexId>(is);
+  pending_vertex_ = read_optional_vertex(is);
+  cost_ = read_pod<double>(is);
+  done_ = read_pod<std::uint8_t>(is) != 0;
+  read_rng(is, rng_);
+  if (!done_) check_position(*graph_, v_, "walker");
+  if (pending_vertex_ && *pending_vertex_ >= graph_->num_vertices()) {
+    throw IoError("RwjCursor: corrupt checkpoint (pending vertex)");
+  }
+}
+
+// -------------------------------------------------------------- Metropolis
+
+MetropolisCursor::MetropolisCursor(const Graph& g,
+                                   MetropolisHastingsWalk::Config config,
+                                   Rng rng)
+    : MetropolisCursor(g, config, rng, StartSampler(g, config.start)) {}
+
+MetropolisCursor::MetropolisCursor(const Graph& g,
+                                   MetropolisHastingsWalk::Config config,
+                                   Rng rng, const StartSampler& start_sampler)
+    : graph_(&g), config_(config), rng_(rng) {
+  if (config_.fixed_start && *config_.fixed_start >= g.num_vertices()) {
+    throw std::out_of_range("MetropolisCursor: fixed_start out of range");
+  }
+  if (start_sampler.mode() != config_.start) {
+    throw std::invalid_argument(
+        "MetropolisCursor: start sampler mode != config.start");
+  }
+  v_ = config_.fixed_start ? *config_.fixed_start : start_sampler.sample(rng_);
+  starts_.push_back(v_);
+  pending_vertex_ = v_;
+}
+
+bool MetropolisCursor::next(StreamEvent& ev) {
+  ev.clear();
+  if (pending_vertex_) {
+    ev.vertex = *pending_vertex_;
+    ev.has_vertex = true;
+    pending_vertex_.reset();
+    return true;
+  }
+  if (step_ == config_.steps) return false;
+  const Graph& g = *graph_;
+  const VertexId w = step_uniform_neighbor(g, v_, rng_);
+  const double accept = static_cast<double>(g.degree(v_)) /
+                        static_cast<double>(g.degree(w));
+  if (accept >= 1.0 || uniform01(rng_) < accept) {
+    ev.edge = Edge{v_, w};
+    ev.has_edge = true;
+    v_ = w;
+  }
+  ev.vertex = v_;
+  ev.has_vertex = true;
+  ++step_;
+  return true;
+}
+
+double MetropolisCursor::cost() const noexcept {
+  return static_cast<double>(step_) + 1.0;
+}
+
+void MetropolisCursor::save_state(std::ostream& os) const {
+  write_pod<std::uint64_t>(os, config_.steps);
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(config_.start));
+  write_optional_vertex(os, config_.fixed_start);
+  write_pod<VertexId>(os, v_);
+  write_optional_vertex(os, pending_vertex_);
+  write_pod<std::uint64_t>(os, step_);
+  write_vector(os, starts_);
+  write_rng(os, rng_);
+}
+
+void MetropolisCursor::load_state(std::istream& is) {
+  expect_pod<std::uint64_t>(is, config_.steps, "steps");
+  expect_pod<std::uint8_t>(is, static_cast<std::uint8_t>(config_.start),
+                           "start mode");
+  const auto fixed = read_optional_vertex(is);
+  if (fixed != config_.fixed_start) {
+    throw IoError("stream checkpoint: configuration mismatch: fixed_start");
+  }
+  v_ = read_pod<VertexId>(is);
+  pending_vertex_ = read_optional_vertex(is);
+  step_ = read_pod<std::uint64_t>(is);
+  starts_ = read_vector<VertexId>(is);
+  read_rng(is, rng_);
+  check_position(*graph_, v_, "walker");
+  if (step_ > config_.steps ||
+      (pending_vertex_ && *pending_vertex_ >= graph_->num_vertices())) {
+    throw IoError("MetropolisCursor: corrupt checkpoint (counters)");
+  }
+}
+
+}  // namespace frontier

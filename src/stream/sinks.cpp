@@ -1,0 +1,260 @@
+#include "stream/sinks.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stream/serialize.hpp"
+
+namespace frontier {
+
+namespace {
+
+using streamio::read_pod;
+using streamio::read_vector;
+using streamio::write_pod;
+using streamio::write_vector;
+
+}  // namespace
+
+// ------------------------------------------------- DegreeDistributionSink
+
+DegreeDistributionSink::DegreeDistributionSink(const Graph& g, DegreeKind kind)
+    : graph_(&g), kind_(kind) {}
+
+void DegreeDistributionSink::consume(const StreamEvent& ev) {
+  if (!ev.has_edge) return;
+  const VertexId v = ev.edge.v;
+  const double inv_deg = 1.0 / static_cast<double>(graph_->degree(v));
+  s_ += inv_deg;
+  const std::uint32_t d = degree_of(*graph_, v, kind_);
+  if (d >= weighted_.size()) weighted_.resize(d + 1, 0.0);
+  weighted_[d] += inv_deg;
+  ++n_;
+}
+
+std::string_view DegreeDistributionSink::name() const noexcept {
+  return "degree_distribution";
+}
+
+std::vector<double> DegreeDistributionSink::distribution() const {
+  std::vector<double> theta = weighted_;
+  if (s_ > 0.0) {
+    for (double& w : theta) w /= s_;
+  }
+  return theta;
+}
+
+std::vector<double> DegreeDistributionSink::ccdf() const {
+  return ccdf_from_pdf(distribution());
+}
+
+void DegreeDistributionSink::save_state(std::ostream& os) const {
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(kind_));
+  write_vector(os, weighted_);
+  write_pod<double>(os, s_);
+  write_pod<std::uint64_t>(os, n_);
+}
+
+void DegreeDistributionSink::load_state(std::istream& is) {
+  streamio::expect_pod<std::uint8_t>(is, static_cast<std::uint8_t>(kind_),
+                                     "degree kind");
+  weighted_ = read_vector<double>(is);
+  s_ = read_pod<double>(is);
+  n_ = read_pod<std::uint64_t>(is);
+}
+
+// ------------------------------------------------------- VertexDensitySink
+
+VertexDensitySink::VertexDensitySink(const Graph& g,
+                                     std::function<bool(VertexId)> pred)
+    : graph_(&g), pred_(std::move(pred)) {
+  if (!pred_) {
+    throw std::invalid_argument("VertexDensitySink: predicate required");
+  }
+}
+
+void VertexDensitySink::consume(const StreamEvent& ev) {
+  if (!ev.has_edge) return;
+  const VertexId v = ev.edge.v;
+  const double inv_deg = 1.0 / static_cast<double>(graph_->degree(v));
+  s_ += inv_deg;
+  if (pred_(v)) weighted_hits_ += inv_deg;
+  ++n_;
+}
+
+std::string_view VertexDensitySink::name() const noexcept {
+  return "vertex_density";
+}
+
+double VertexDensitySink::value() const noexcept {
+  if (n_ == 0) return 0.0;
+  return s_ == 0.0 ? 0.0 : weighted_hits_ / s_;
+}
+
+void VertexDensitySink::save_state(std::ostream& os) const {
+  write_pod<double>(os, s_);
+  write_pod<double>(os, weighted_hits_);
+  write_pod<std::uint64_t>(os, n_);
+}
+
+void VertexDensitySink::load_state(std::istream& is) {
+  s_ = read_pod<double>(is);
+  weighted_hits_ = read_pod<double>(is);
+  n_ = read_pod<std::uint64_t>(is);
+}
+
+// --------------------------------------------------------- EdgeDensitySink
+
+EdgeDensitySink::EdgeDensitySink(std::function<bool(const Edge&)> labeled,
+                                 std::function<bool(const Edge&)> has_label)
+    : labeled_(std::move(labeled)), has_label_(std::move(has_label)) {
+  if (!labeled_ || !has_label_) {
+    throw std::invalid_argument("EdgeDensitySink: predicates required");
+  }
+}
+
+void EdgeDensitySink::consume(const StreamEvent& ev) {
+  if (!ev.has_edge) return;
+  if (!labeled_(ev.edge)) return;
+  ++b_star_;
+  if (has_label_(ev.edge)) ++hits_;
+}
+
+std::string_view EdgeDensitySink::name() const noexcept {
+  return "edge_density";
+}
+
+double EdgeDensitySink::value() const noexcept {
+  return b_star_ == 0
+             ? 0.0
+             : static_cast<double>(hits_) / static_cast<double>(b_star_);
+}
+
+void EdgeDensitySink::save_state(std::ostream& os) const {
+  write_pod<std::uint64_t>(os, b_star_);
+  write_pod<std::uint64_t>(os, hits_);
+}
+
+void EdgeDensitySink::load_state(std::istream& is) {
+  b_star_ = read_pod<std::uint64_t>(is);
+  hits_ = read_pod<std::uint64_t>(is);
+}
+
+// ------------------------------------------------------- AssortativitySink
+
+AssortativitySink::AssortativitySink(const Graph& g) : graph_(&g) {}
+
+void AssortativitySink::consume(const StreamEvent& ev) {
+  if (!ev.has_edge) return;
+  const Edge& e = ev.edge;
+  if (!graph_->has_directed_edge(e.u, e.v)) return;  // unlabeled: skip
+  acc_.add(static_cast<double>(graph_->out_degree(e.u)),
+           static_cast<double>(graph_->in_degree(e.v)));
+}
+
+std::string_view AssortativitySink::name() const noexcept {
+  return "assortativity";
+}
+
+void AssortativitySink::save_state(std::ostream& os) const {
+  write_pod(os, acc_.state());
+}
+
+void AssortativitySink::load_state(std::istream& is) {
+  acc_.restore(read_pod<AssortativityAccumulator::State>(is));
+}
+
+// -------------------------------------------------------- GraphMomentsSink
+
+GraphMomentsSink::GraphMomentsSink(const Graph& g, unsigned max_moment)
+    : graph_(&g), pow_sums_(max_moment, 0.0) {
+  if (max_moment == 0) {
+    throw std::invalid_argument("GraphMomentsSink: max_moment >= 1");
+  }
+}
+
+void GraphMomentsSink::consume(const StreamEvent& ev) {
+  if (!ev.has_edge) return;
+  const double deg = static_cast<double>(graph_->degree(ev.edge.v));
+  s_ += 1.0 / deg;
+  for (std::size_t k = 1; k <= pow_sums_.size(); ++k) {
+    pow_sums_[k - 1] += std::pow(deg, static_cast<double>(k) - 1.0);
+  }
+  ++n_;
+  observed_.add(deg);
+}
+
+std::string_view GraphMomentsSink::name() const noexcept {
+  return "graph_moments";
+}
+
+double GraphMomentsSink::average_degree() const noexcept {
+  if (n_ == 0) return 0.0;
+  return s_ == 0.0 ? 0.0 : static_cast<double>(n_) / s_;
+}
+
+double GraphMomentsSink::degree_moment(unsigned k) const {
+  if (k == 0) return n_ == 0 ? 0.0 : 1.0;  // E[deg^0] = 1
+  if (k > pow_sums_.size()) {
+    throw std::out_of_range("GraphMomentsSink: moment not tracked");
+  }
+  if (n_ == 0) return 0.0;
+  return s_ == 0.0 ? 0.0 : pow_sums_[k - 1] / s_;
+}
+
+double GraphMomentsSink::volume(double num_vertices) const {
+  if (num_vertices <= 0.0) {
+    throw std::invalid_argument("GraphMomentsSink: num_vertices > 0");
+  }
+  return average_degree() * num_vertices;
+}
+
+void GraphMomentsSink::save_state(std::ostream& os) const {
+  write_vector(os, pow_sums_);
+  write_pod<double>(os, s_);
+  write_pod<std::uint64_t>(os, n_);
+  write_pod(os, observed_.state());
+}
+
+void GraphMomentsSink::load_state(std::istream& is) {
+  const auto pow_sums = read_vector<double>(is);
+  if (pow_sums.size() != pow_sums_.size()) {
+    throw IoError("stream checkpoint: configuration mismatch: max_moment");
+  }
+  pow_sums_ = pow_sums;
+  s_ = read_pod<double>(is);
+  n_ = read_pod<std::uint64_t>(is);
+  RunningStat fresh;
+  fresh.restore(read_pod<RunningStat::State>(is));
+  observed_ = fresh;
+}
+
+// ------------------------------------------------------- UniformDegreeSink
+
+UniformDegreeSink::UniformDegreeSink(const Graph& g) : graph_(&g) {}
+
+void UniformDegreeSink::consume(const StreamEvent& ev) {
+  if (!ev.has_vertex) return;
+  deg_sum_ += static_cast<double>(graph_->degree(ev.vertex));
+  ++n_;
+}
+
+std::string_view UniformDegreeSink::name() const noexcept {
+  return "uniform_degree";
+}
+
+double UniformDegreeSink::value() const noexcept {
+  return n_ == 0 ? 0.0 : deg_sum_ / static_cast<double>(n_);
+}
+
+void UniformDegreeSink::save_state(std::ostream& os) const {
+  write_pod<double>(os, deg_sum_);
+  write_pod<std::uint64_t>(os, n_);
+}
+
+void UniformDegreeSink::load_state(std::istream& is) {
+  deg_sum_ = read_pod<double>(is);
+  n_ = read_pod<std::uint64_t>(is);
+}
+
+}  // namespace frontier

@@ -1,0 +1,191 @@
+// Online estimator sinks: fold StreamEvents incrementally so a crawl at
+// any budget B uses O(max_degree + buckets) memory instead of O(B).
+//
+// Each sink is the streaming twin of one batch estimator in estimators/
+// and accumulates in the same order with the same arithmetic, so given the
+// same edge sequence the sink's output is bit-identical to the batch
+// function's (tests/test_stream_sinks.cpp asserts this). Sinks serialize
+// their numeric state for checkpoint/resume; closures (label predicates)
+// are not stored — the caller re-binds them when reconstructing the sink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "estimators/assortativity.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+#include "stats/accumulators.hpp"
+#include "stream/cursor.hpp"
+
+namespace frontier {
+
+/// Incremental estimator fed one StreamEvent at a time.
+class EstimatorSink {
+ public:
+  virtual ~EstimatorSink() = default;
+
+  virtual void consume(const StreamEvent& ev) = 0;
+
+  /// Stable identifier, stored in checkpoints and verified on load.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Serializes / restores the accumulated numeric state.
+  virtual void save_state(std::ostream& os) const = 0;
+  virtual void load_state(std::istream& is) = 0;
+};
+
+/// Streaming eq.-7 degree distribution (and CCDF): the histogram of
+/// 1/deg(v_i) weights of estimate_degree_distribution, folded per edge.
+class DegreeDistributionSink final : public EstimatorSink {
+ public:
+  DegreeDistributionSink(const Graph& g, DegreeKind kind);
+
+  void consume(const StreamEvent& ev) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  /// θ̂ — identical to estimate_degree_distribution over the same edges.
+  [[nodiscard]] std::vector<double> distribution() const;
+  /// γ̂ — identical to estimate_degree_ccdf over the same edges.
+  [[nodiscard]] std::vector<double> ccdf() const;
+  [[nodiscard]] std::uint64_t edges_consumed() const noexcept { return n_; }
+
+ private:
+  const Graph* graph_;
+  DegreeKind kind_;
+  std::vector<double> weighted_;  // Σ 1/deg(v_i) per degree bucket
+  double s_ = 0.0;                // Σ 1/deg(v_i)
+  std::uint64_t n_ = 0;
+};
+
+/// Streaming eq. 7: vertex label density from edge samples, reweighted by
+/// 1/deg. The predicate is evaluated once per edge as it arrives.
+class VertexDensitySink final : public EstimatorSink {
+ public:
+  VertexDensitySink(const Graph& g, std::function<bool(VertexId)> pred);
+
+  void consume(const StreamEvent& ev) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  /// θ̂_l — identical to estimate_vertex_label_density over the same edges.
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  const Graph* graph_;
+  std::function<bool(VertexId)> pred_;
+  double s_ = 0.0;
+  double weighted_hits_ = 0.0;
+  std::uint64_t n_ = 0;
+};
+
+/// Streaming eq. 5: edge label density over the labeled subsequence.
+class EdgeDensitySink final : public EstimatorSink {
+ public:
+  EdgeDensitySink(std::function<bool(const Edge&)> labeled,
+                  std::function<bool(const Edge&)> has_label);
+
+  void consume(const StreamEvent& ev) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  /// p̂_l — identical to estimate_edge_label_density over the same edges.
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  std::function<bool(const Edge&)> labeled_;
+  std::function<bool(const Edge&)> has_label_;
+  std::uint64_t b_star_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+/// Streaming assortativity r̂ (Section 4.2.2), reusing the incremental
+/// AssortativityAccumulator from estimators/.
+class AssortativitySink final : public EstimatorSink {
+ public:
+  explicit AssortativitySink(const Graph& g);
+
+  void consume(const StreamEvent& ev) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  /// r̂ — identical to estimate_assortativity over the same edges.
+  [[nodiscard]] double value() const noexcept { return acc_.value(); }
+  [[nodiscard]] std::uint64_t labeled_count() const noexcept {
+    return acc_.count();
+  }
+
+ private:
+  const Graph* graph_;
+  AssortativityAccumulator acc_;
+};
+
+/// Streaming graph moments: the S-normalization of eq. 7 folded per edge.
+/// Provides average degree (1/S), higher degree moments, and volume; also
+/// keeps a Welford RunningStat of the observed degrees as a dispersion
+/// diagnostic for monitoring long crawls.
+class GraphMomentsSink final : public EstimatorSink {
+ public:
+  /// Tracks raw degree moments E[deg^k] for k in [1, max_moment].
+  explicit GraphMomentsSink(const Graph& g, unsigned max_moment = 3);
+
+  void consume(const StreamEvent& ev) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  /// d̄ — identical to estimate_average_degree over the same edges.
+  [[nodiscard]] double average_degree() const noexcept;
+  /// E[deg^k] — identical to estimate_degree_moment for k <= max_moment.
+  [[nodiscard]] double degree_moment(unsigned k) const;
+  /// vol ≈ |V| / S — identical to estimate_volume.
+  [[nodiscard]] double volume(double num_vertices) const;
+  [[nodiscard]] std::uint64_t edges_consumed() const noexcept { return n_; }
+  /// Welford statistics of the observed (degree-biased) target degrees.
+  [[nodiscard]] const RunningStat& observed_degrees() const noexcept {
+    return observed_;
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<double> pow_sums_;  // Σ deg^(k-1) for k = 1..max_moment
+  double s_ = 0.0;                // Σ 1/deg
+  std::uint64_t n_ = 0;
+  RunningStat observed_;
+};
+
+/// Streaming mean degree from *uniform vertex* samples (MH-RW visits):
+/// the plain empirical average, no reweighting.
+class UniformDegreeSink final : public EstimatorSink {
+ public:
+  explicit UniformDegreeSink(const Graph& g);
+
+  void consume(const StreamEvent& ev) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  /// Identical to estimate_average_degree_uniform over the same vertices.
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::uint64_t vertices_consumed() const noexcept { return n_; }
+
+ private:
+  const Graph* graph_;
+  double deg_sum_ = 0.0;
+  std::uint64_t n_ = 0;
+};
+
+/// Owning collection of sinks, in checkpoint order.
+using SinkSet = std::vector<std::unique_ptr<EstimatorSink>>;
+
+}  // namespace frontier

@@ -2,13 +2,23 @@
 # One-command local gate: configure, build everything, run ctest, then
 # rebuild the library with -Wall -Wextra -Werror to keep it warning-clean.
 #
-#   tools/check.sh [build-dir]    (default: build)
+#   tools/check.sh [build-dir] [--sanitize]    (default: build)
+#
+# --sanitize additionally configures/builds/tests the `sanitize` CMake
+# preset (ASan + UBSan, see CMakePresets.json) in build-sanitize/.
 #
 # Mirrors the tier-1 verify in ROADMAP.md; run before every push.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
 echo "== configure (${BUILD_DIR})"
@@ -30,5 +40,12 @@ cmake -B "$STRICT_DIR" -S . \
   -DFRONTIER_BUILD_TOOLS=OFF \
   >/dev/null
 cmake --build "$STRICT_DIR" -j "$JOBS" --target frontier
+
+if [ "$SANITIZE" -eq 1 ]; then
+  echo "== sanitize build + tests (ASan + UBSan)"
+  cmake --preset sanitize >/dev/null
+  cmake --build --preset sanitize -j "$JOBS"
+  ctest --preset sanitize -j "$JOBS"
+fi
 
 echo "== OK"

@@ -15,10 +15,21 @@
 //   frontier_cli spectral <edges.txt>
 //       Spectral gap / relaxation time of the RW kernel (graphs up to a few
 //       thousand vertices).
+//   frontier_cli stream <edges.txt> [--method fs|srw|mrw|mh|rwj]
+//                [--budget N] [--dimension M] [--seed S]
+//                [--checkpoint out.ckpt] [--resume in.ckpt]
+//                [--checkpoint-every N]
+//       Crawl with the streaming engine (O(1)-in-budget memory): online
+//       estimator sinks instead of a materialized sample, with optional
+//       periodic checkpoints and pause/resume.
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,7 +50,29 @@ struct Args {
   }
   [[nodiscard]] double get_num(const std::string& key, double fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
+    if (it == options.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(it->second, &consumed);
+      if (consumed != it->second.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+      return value;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                  it->second + "'");
+    }
+  }
+  /// Non-negative integer option; rejects values a u64 cast would mangle.
+  [[nodiscard]] std::uint64_t get_count(const std::string& key,
+                                        std::uint64_t fallback) const {
+    if (options.find(key) == options.end()) return fallback;
+    const double value = get_num(key, 0.0);
+    if (value < 0.0 || value > 9.0e18 || value != std::floor(value)) {
+      throw std::invalid_argument("--" + key +
+                                  " expects a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(value);
   }
 };
 
@@ -100,23 +133,52 @@ int cmd_summarize(const Args& args) {
   return 0;
 }
 
+// Shared crawl setup of the sample/stream subcommands: input graph,
+// budget (default |V|/100), walker count (clamped so walkers keep at
+// least half the budget for steps), and the seeded RNG. `walk_steps` is
+// the single-walker step count B - 1, clamped at 0 for sub-unit budgets.
+struct CrawlSetup {
+  Graph graph;
+  std::string method;
+  double budget = 0.0;
+  std::size_t dimension = 0;
+  std::uint64_t walk_steps = 0;
+  Rng rng;
+};
+
+CrawlSetup crawl_setup(const Args& args) {
+  CrawlSetup s{.graph = load(args.positional[0]),
+               .method = args.get("method", "fs"),
+               .rng = Rng(args.get_count("seed", 1))};
+  s.budget = args.get_num(
+      "budget", static_cast<double>(s.graph.num_vertices()) / 100.0);
+  if (s.budget > 9.0e18) {
+    throw std::invalid_argument("--budget too large");
+  }
+  s.dimension = static_cast<std::size_t>(args.get_count("dimension", 100));
+  if (static_cast<double>(s.dimension) * 2.0 > s.budget) {
+    s.dimension =
+        std::max<std::size_t>(1, static_cast<std::size_t>(s.budget / 2.0));
+    std::cerr << "note: dimension clamped to " << s.dimension
+              << " so walkers keep at least half the budget for steps\n";
+  }
+  s.walk_steps =
+      s.budget >= 1.0 ? static_cast<std::uint64_t>(s.budget) - 1 : 0;
+  return s;
+}
+
 int cmd_sample(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: frontier_cli sample <edges.txt> [--method fs] "
                  "[--budget N] [--dimension M] [--seed S]\n";
     return 2;
   }
-  const Graph g = load(args.positional[0]);
-  const std::string method = args.get("method", "fs");
-  const double budget =
-      args.get_num("budget", static_cast<double>(g.num_vertices()) / 100.0);
-  auto m = static_cast<std::size_t>(args.get_num("dimension", 100));
-  if (static_cast<double>(m) * 2.0 > budget) {
-    m = std::max<std::size_t>(1, static_cast<std::size_t>(budget / 2.0));
-    std::cerr << "note: dimension clamped to " << m
-              << " so walkers keep at least half the budget for steps\n";
-  }
-  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 1)));
+  CrawlSetup s = crawl_setup(args);
+  const Graph& g = s.graph;
+  const std::string& method = s.method;
+  const double budget = s.budget;
+  const std::size_t m = s.dimension;
+  Rng& rng = s.rng;
 
   SampleRecord rec;
   if (method == "fs") {
@@ -124,8 +186,7 @@ int cmd_sample(const Args& args) {
         g, {.dimension = m, .steps = frontier_steps(budget, m, 1.0)});
     rec = fs.run(rng);
   } else if (method == "srw") {
-    const SingleRandomWalk srw(
-        g, {.steps = static_cast<std::uint64_t>(budget) - 1});
+    const SingleRandomWalk srw(g, {.steps = s.walk_steps});
     rec = srw.run(rng);
   } else if (method == "mrw") {
     const MultipleRandomWalks mrw(
@@ -133,8 +194,7 @@ int cmd_sample(const Args& args) {
             .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)});
     rec = mrw.run(rng);
   } else if (method == "mh") {
-    const MetropolisHastingsWalk mh(
-        g, {.steps = static_cast<std::uint64_t>(budget) - 1});
+    const MetropolisHastingsWalk mh(g, {.steps = s.walk_steps});
     rec = mh.run(rng);
   } else {
     std::cerr << "unknown method: " << method << "\n";
@@ -159,6 +219,125 @@ int cmd_sample(const Args& args) {
     table.add_row({"global clustering",
                    format_number(estimate_global_clustering(g, rec.edges)),
                    format_number(exact_global_clustering(g))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_stream(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: frontier_cli stream <edges.txt> [--method fs] "
+                 "[--budget N] [--dimension M] [--seed S] "
+                 "[--checkpoint out.ckpt] [--resume in.ckpt] "
+                 "[--checkpoint-every N]\n";
+    return 2;
+  }
+  CrawlSetup s = crawl_setup(args);
+  const Graph& g = s.graph;
+  const std::string& method = s.method;
+  const double budget = s.budget;
+  const std::size_t m = s.dimension;
+
+  std::unique_ptr<SamplerCursor> cursor;
+  if (method == "fs") {
+    cursor = std::make_unique<FrontierCursor>(
+        g,
+        FrontierSampler::Config{.dimension = m,
+                                .steps = frontier_steps(budget, m, 1.0)},
+        s.rng);
+  } else if (method == "srw") {
+    cursor = std::make_unique<SingleRwCursor>(
+        g, SingleRandomWalk::Config{.steps = s.walk_steps}, s.rng);
+  } else if (method == "mrw") {
+    cursor = std::make_unique<MultipleRwCursor>(
+        g,
+        MultipleRandomWalks::Config{
+            .num_walkers = m,
+            .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)},
+        s.rng);
+  } else if (method == "mh") {
+    cursor = std::make_unique<MetropolisCursor>(
+        g, MetropolisHastingsWalk::Config{.steps = s.walk_steps}, s.rng);
+  } else if (method == "rwj") {
+    cursor = std::make_unique<RwjCursor>(
+        g, RandomWalkWithJumps::Config{.budget = budget}, s.rng);
+  } else {
+    std::cerr << "unknown method: " << method << "\n";
+    return 2;
+  }
+
+  SinkSet sinks;
+  auto degree_sink =
+      std::make_unique<DegreeDistributionSink>(g, DegreeKind::kSymmetric);
+  auto assort_sink = std::make_unique<AssortativitySink>(g);
+  auto moments_sink = std::make_unique<GraphMomentsSink>(g);
+  auto uniform_sink = std::make_unique<UniformDegreeSink>(g);
+  const AssortativitySink* assort = assort_sink.get();
+  const GraphMomentsSink* moments = moments_sink.get();
+  const UniformDegreeSink* uniform = uniform_sink.get();
+  sinks.push_back(std::move(degree_sink));
+  sinks.push_back(std::move(assort_sink));
+  sinks.push_back(std::move(moments_sink));
+  sinks.push_back(std::move(uniform_sink));
+  StreamEngine engine(std::move(cursor), std::move(sinks));
+
+  const std::string resume = args.get("resume", "");
+  if (!resume.empty()) {
+    engine.load_checkpoint_file(resume);
+    std::cout << "resumed from " << resume << " at event " << engine.events()
+              << "\n";
+  }
+
+  const std::string checkpoint = args.get("checkpoint", "");
+  const std::uint64_t checkpoint_every = args.get_count("checkpoint-every", 0);
+  constexpr std::uint64_t kChunk = 1 << 16;
+  std::uint64_t next_checkpoint =
+      checkpoint_every == 0
+          ? 0
+          : (engine.events() / checkpoint_every + 1) * checkpoint_every;
+
+  const std::uint64_t resumed_events = engine.events();
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!engine.finished()) {
+    std::uint64_t chunk = kChunk;
+    if (next_checkpoint != 0 && !checkpoint.empty()) {
+      chunk = std::min(chunk, next_checkpoint - engine.events());
+    }
+    engine.pump(chunk);
+    if (next_checkpoint != 0 && !checkpoint.empty() &&
+        engine.events() >= next_checkpoint) {
+      engine.save_checkpoint_file(checkpoint);
+      next_checkpoint += checkpoint_every;
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  if (!checkpoint.empty()) {
+    engine.save_checkpoint_file(checkpoint);
+    std::cout << "checkpoint written to " << checkpoint << "\n";
+  }
+
+  std::cout << "method=" << method << " budget=" << budget
+            << " events=" << engine.events()
+            << " cost=" << engine.cursor().cost() << " ("
+            << format_number(
+                   static_cast<double>(engine.events() - resumed_events) /
+                   std::max(elapsed.count(), 1e-9))
+            << " events/s this run)\n\n";
+  TextTable table({"characteristic", "estimate", "exact"});
+  if (method == "mh") {
+    table.add_row({"avg degree", format_number(uniform->value()),
+                   format_number(g.average_degree())});
+  } else {
+    table.add_row({"avg degree", format_number(moments->average_degree()),
+                   format_number(g.average_degree())});
+    table.add_row(
+        {"volume",
+         format_number(
+             moments->volume(static_cast<double>(g.num_vertices()))),
+         format_number(static_cast<double>(g.volume()))});
+    table.add_row({"assortativity", format_number(assort->value()),
+                   format_number(exact_assortativity(g))});
   }
   table.print(std::cout);
   return 0;
@@ -231,7 +410,8 @@ int cmd_spectral(const Args& args) {
 }
 
 void usage() {
-  std::cerr << "frontier_cli <summarize|sample|generate|convert|spectral> "
+  std::cerr << "frontier_cli "
+               "<summarize|sample|stream|generate|convert|spectral> "
                "[args]\n(see the header comment of tools/frontier_cli.cpp "
                "or README.md)\n";
 }
@@ -244,13 +424,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  const Args args = parse_args(argc, argv, 2);
   try {
+    const Args args = parse_args(argc, argv, 2);
     if (cmd == "summarize") return cmd_summarize(args);
     if (cmd == "sample") return cmd_sample(args);
+    if (cmd == "stream") return cmd_stream(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "spectral") return cmd_spectral(args);
+  } catch (const IoError& e) {
+    // Missing/corrupt input files and broken checkpoints: report and exit
+    // nonzero instead of aborting with an uncaught exception.
+    std::cerr << "io error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bad argument: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
