@@ -1,14 +1,6 @@
 #include "experiments/replicator.hpp"
 
-#include <algorithm>
-
 namespace frontier {
-
-std::size_t resolve_threads(std::size_t requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return std::max(1u, hw);
-}
 
 void parallel_replicate(std::size_t runs, std::uint64_t seed,
                         const std::function<void(std::size_t, Rng&)>& body,

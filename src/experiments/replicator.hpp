@@ -8,13 +8,12 @@
 #include <thread>
 #include <vector>
 
+// resolve_threads lives in core/parallel.hpp (shared with the parallel
+// graph-ingestion path) and is re-exported here for existing callers.
+#include "core/parallel.hpp"
 #include "random/rng.hpp"
 
 namespace frontier {
-
-/// Number of worker threads to use: `requested`, or hardware concurrency
-/// when requested == 0 (at least 1).
-[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
 
 /// Runs `runs` replications of `body(run_index, rng)` across threads.
 /// Per-run generators derive from `seed` via split_stream(run_index).

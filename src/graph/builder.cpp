@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "graph/storage.hpp"
 
 namespace frontier {
 
@@ -23,31 +27,37 @@ void GraphBuilder::add_undirected_edge(VertexId u, VertexId v) {
   add_edge(v, u);
 }
 
-Graph GraphBuilder::build() const {
+Graph GraphBuilder::build(std::size_t threads) const {
   // Work on a sorted, deduplicated copy of the directed edge list with
-  // self-loops removed.
+  // self-loops removed. The two sorts dominate the build for large graphs,
+  // so both run through parallel_sort (sequential below ~64k elements).
   std::vector<Edge> dir;
   dir.reserve(edges_.size());
   for (const Edge& e : edges_) {
     if (e.u != e.v) dir.push_back(e);
   }
-  std::sort(dir.begin(), dir.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
+  parallel_sort(
+      dir.begin(), dir.end(),
+      [](const Edge& a, const Edge& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      },
+      threads);
   dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
 
-  Graph g;
-  g.num_directed_edges_ = dir.size();
-  g.out_degree_.assign(n_, 0);
-  g.in_degree_.assign(n_, 0);
+  GraphStorage::Arrays arrays;
+  arrays.num_directed_edges = dir.size();
+  arrays.out_degree.assign(n_, 0);
+  arrays.in_degree.assign(n_, 0);
   for (const Edge& e : dir) {
-    ++g.out_degree_[e.u];
-    ++g.in_degree_[e.v];
+    ++arrays.out_degree[e.u];
+    ++arrays.in_degree[e.v];
   }
 
   // Symmetric adjacency: emit each directed edge in both orientations,
   // tagged with its direction relative to the emitting endpoint, then merge
-  // per (source, target) pair.
+  // per (source, target) pair. Entries with equal (src, dst) may appear in
+  // either order after the unstable sort; the flag merge below ORs them, so
+  // the result is identical regardless.
   struct Entry {
     VertexId src;
     VertexId dst;
@@ -59,19 +69,20 @@ Graph GraphBuilder::build() const {
     entries.push_back({e.u, e.v, 1});
     entries.push_back({e.v, e.u, 2});
   }
-  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
-  });
+  parallel_sort(
+      entries.begin(), entries.end(),
+      [](const Entry& a, const Entry& b) {
+        return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+      },
+      threads);
 
-  g.offsets_.assign(n_ + 1, 0);
-  g.neighbors_.clear();
-  g.directions_.clear();
-  g.neighbors_.reserve(entries.size());
-  g.directions_.reserve(entries.size());
+  arrays.offsets.assign(n_ + 1, 0);
+  arrays.neighbors.reserve(entries.size());
+  arrays.directions.reserve(entries.size());
 
   std::size_t i = 0;
   for (VertexId v = 0; v < n_; ++v) {
-    g.offsets_[v] = g.neighbors_.size();
+    arrays.offsets[v] = arrays.neighbors.size();
     while (i < entries.size() && entries[i].src == v) {
       const VertexId dst = entries[i].dst;
       std::uint8_t flags = 0;
@@ -80,12 +91,12 @@ Graph GraphBuilder::build() const {
         flags |= entries[i].dir;
         ++i;
       }
-      g.neighbors_.push_back(dst);
-      g.directions_.push_back(static_cast<EdgeDir>(flags));
+      arrays.neighbors.push_back(dst);
+      arrays.directions.push_back(static_cast<EdgeDir>(flags));
     }
   }
-  g.offsets_[n_] = g.neighbors_.size();
-  return g;
+  arrays.offsets[n_] = arrays.neighbors.size();
+  return Graph(GraphStorage::from_arrays(std::move(arrays)));
 }
 
 }  // namespace frontier

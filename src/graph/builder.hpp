@@ -32,8 +32,10 @@ class GraphBuilder {
   }
 
   /// Finalizes into an immutable Graph. The builder may be reused afterwards
-  /// (its edge list is preserved).
-  [[nodiscard]] Graph build() const;
+  /// (its edge list is preserved). `threads` bounds the internal sort
+  /// parallelism and resolves like resolve_threads (0 = hardware
+  /// concurrency); the result is identical for every thread count.
+  [[nodiscard]] Graph build(std::size_t threads = 0) const;
 
  private:
   std::size_t n_;

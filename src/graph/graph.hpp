@@ -11,19 +11,32 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "core/types.hpp"
+#include "graph/storage.hpp"
 
 namespace frontier {
-
-class GraphBuilder;
 
 class Graph {
  public:
   Graph() = default;
+
+  /// Wraps a backing store (owned arrays or an mmap'd snapshot); the Graph
+  /// reads through span views either way and shares the storage on copy.
+  explicit Graph(std::shared_ptr<const GraphStorage> storage)
+      : storage_(std::move(storage)) {
+    const GraphStorage::Views& v = storage_->views();
+    offsets_ = v.offsets;
+    neighbors_ = v.neighbors;
+    directions_ = v.directions;
+    out_degree_ = v.out_degree;
+    in_degree_ = v.in_degree;
+    num_directed_edges_ = v.num_directed_edges;
+  }
 
   /// Number of vertices |V|.
   [[nodiscard]] std::size_t num_vertices() const noexcept {
@@ -111,17 +124,42 @@ class Graph {
     return offsets_;
   }
 
+  /// Whole CSR arrays, parallel to offsets(); exposed so the binary
+  /// snapshot writer can emit them verbatim.
+  [[nodiscard]] std::span<const VertexId> neighbor_array() const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] std::span<const EdgeDir> direction_array() const noexcept {
+    return directions_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> out_degree_array()
+      const noexcept {
+    return out_degree_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> in_degree_array()
+      const noexcept {
+    return in_degree_;
+  }
+
   /// One-line human-readable summary ("|V|=..., |E|=..., d̄=...").
   [[nodiscard]] std::string summary() const;
 
- private:
-  friend class GraphBuilder;
+  /// True when the CSR arrays are views into an mmap'd binary snapshot
+  /// rather than owned vectors.
+  [[nodiscard]] bool is_memory_mapped() const noexcept {
+    return storage_ != nullptr && storage_->is_memory_mapped();
+  }
 
-  std::vector<EdgeIndex> offsets_;    // |V|+1
-  std::vector<VertexId> neighbors_;   // vol(V), sorted per vertex
-  std::vector<EdgeDir> directions_;   // parallel to neighbors_
-  std::vector<std::uint32_t> out_degree_;
-  std::vector<std::uint32_t> in_degree_;
+ private:
+  // Keeps the arrays (owned vectors or an mmap'd region) alive; the spans
+  // below are cached views into it so the hot paths skip the indirection.
+  std::shared_ptr<const GraphStorage> storage_;
+
+  std::span<const EdgeIndex> offsets_;    // |V|+1
+  std::span<const VertexId> neighbors_;   // vol(V), sorted per vertex
+  std::span<const EdgeDir> directions_;   // parallel to neighbors_
+  std::span<const std::uint32_t> out_degree_;
+  std::span<const std::uint32_t> in_degree_;
   std::uint64_t num_directed_edges_ = 0;
 };
 

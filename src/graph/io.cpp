@@ -1,21 +1,36 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
-
+#include <bit>
+#include <charconv>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <string_view>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "core/parallel.hpp"
 #include "graph/builder.hpp"
+#include "graph/storage.hpp"
 
 namespace frontier {
+
+// The binary formats store raw little-endian arrays; a big-endian port
+// would need byte-swapping read/write paths.
+static_assert(std::endian::native == std::endian::little,
+              "graph binary IO assumes a little-endian host");
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x46524f4e54474230ULL;  // "FRONTGB0"
+constexpr std::uint64_t kV2HeaderBytes = 40;  // magic,ver,reserved,n,dir,sym
 
 template <typename T>
 void write_pod(std::ostream& os, const T& value) {
@@ -42,6 +57,386 @@ std::ofstream open_out(const std::string& path, std::ios_base::openmode mode) {
   return f;
 }
 
+/// Flushes and verifies the stream so a full disk surfaces as IoError
+/// instead of silently losing the tail of the file.
+void flush_or_throw(std::ofstream& f, const std::string& what,
+                    const std::string& path) {
+  f.flush();
+  if (!f) throw IoError(what + ": flush failed (disk full?): " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Text parsing: chunked std::from_chars scanner.
+// ---------------------------------------------------------------------------
+
+struct ChunkResult {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  std::size_t lines = 0;       // lines fully visited in this chunk
+  std::size_t error_line = 0;  // 1-based line within the chunk; 0 = no error
+  std::string error_what;      // message without position info
+};
+
+/// Parses one chunk whose start is at a line boundary. Stops at the first
+/// malformed line, recording the local line number and message.
+void parse_chunk(std::string_view text, ChunkResult& out) {
+  const char* p = text.data();
+  const char* const end = p + text.size();
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  };
+  while (p < end) {
+    const char* nl =
+        static_cast<const char*>(std::memchr(p, '\n', end - p));
+    const char* const eol = nl != nullptr ? nl : end;
+    ++out.lines;
+    const char* q = p;
+    while (q < eol && is_space(*q)) ++q;
+    if (q == eol || *q == '#') {  // blank line or comment
+      p = nl != nullptr ? nl + 1 : end;
+      continue;
+    }
+    const auto fail = [&](const char* what) {
+      out.error_line = out.lines;
+      out.error_what = what;
+    };
+    std::uint64_t ids[2] = {0, 0};
+    for (int k = 0; k < 2 && out.error_line == 0; ++k) {
+      if (q < eol && *q == '-') {
+        fail("negative vertex id");
+        break;
+      }
+      const auto [ptr, ec] = std::from_chars(q, eol, ids[k]);
+      if (ec == std::errc::result_out_of_range) {
+        fail("vertex id out of range");
+        break;
+      }
+      if (ec != std::errc() || (ptr < eol && !is_space(*ptr))) {
+        fail(k == 0 ? "expected two vertex ids" : "malformed second id");
+        break;
+      }
+      q = ptr;
+      while (q < eol && is_space(*q)) ++q;
+      if (k == 0 && q == eol) {
+        fail("expected two vertex ids");
+        break;
+      }
+    }
+    if (out.error_line == 0 && q < eol && *q != '#') {
+      fail("trailing garbage after edge");
+    }
+    if (out.error_line != 0) return;
+    out.edges.emplace_back(ids[0], ids[1]);
+    p = nl != nullptr ? nl + 1 : end;
+  }
+}
+
+Graph parse_edge_list_text(std::string_view text, std::size_t threads) {
+  // Auto mode only fans out when each worker gets at least ~1 MiB of text;
+  // an explicit thread count is honored (down to one line per chunk) so
+  // tests can exercise the parallel path on small inputs.
+  constexpr std::size_t kAutoBytesPerWorker = std::size_t{1} << 20;
+  std::size_t workers =
+      threads == 0
+          ? std::min(resolve_threads(0),
+                     std::max<std::size_t>(text.size() / kAutoBytesPerWorker,
+                                           1))
+          : std::min(threads, std::max<std::size_t>(text.size(), 1));
+
+  // Chunk boundaries: byte targets advanced to the next line start.
+  std::vector<std::string_view> chunks;
+  std::size_t begin = 0;
+  for (std::size_t w = 1; w <= workers && begin < text.size(); ++w) {
+    std::size_t target = text.size() * w / workers;
+    if (w == workers) {
+      target = text.size();
+    } else {
+      const std::size_t nl = text.find('\n', std::max(target, begin));
+      target = nl == std::string_view::npos ? text.size() : nl + 1;
+    }
+    if (target > begin) chunks.push_back(text.substr(begin, target - begin));
+    begin = target;
+  }
+
+  std::vector<ChunkResult> results(chunks.size());
+  parallel_for_ranges(chunks.size(), chunks.size(),
+                      [&](std::size_t, std::size_t cb, std::size_t ce) {
+                        for (std::size_t c = cb; c < ce; ++c) {
+                          parse_chunk(chunks[c], results[c]);
+                        }
+                      });
+
+  std::size_t total_edges = 0;
+  std::size_t lines_before = 0;
+  for (const ChunkResult& r : results) {
+    if (r.error_line != 0) {
+      throw IoError("read_edge_list: " + r.error_what + " at line " +
+                    std::to_string(lines_before + r.error_line));
+    }
+    lines_before += r.lines;
+    total_edges += r.edges.size();
+  }
+
+  // Densify by *numeric order* so graphs written by write_edge_list (which
+  // are already dense) round-trip with identical vertex ids.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(total_edges * 2);
+  for (const ChunkResult& r : results) {
+    for (const auto& [a, b] : r.edges) {
+      ids.push_back(a);
+      ids.push_back(b);
+    }
+  }
+  parallel_sort(ids.begin(), ids.end(), std::less<>{}, threads);
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::unordered_map<std::uint64_t, VertexId> dense;
+  dense.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    dense.emplace(ids[i], static_cast<VertexId>(i));
+  }
+
+  GraphBuilder builder(ids.size());
+  for (const ChunkResult& r : results) {
+    for (const auto& [a, b] : r.edges) {
+      builder.add_edge(dense.at(a), dense.at(b));
+    }
+  }
+  return builder.build(threads);
+}
+
+// ---------------------------------------------------------------------------
+// Binary format v2 layout.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t pad8(std::uint64_t pos) { return (pos + 7) & ~7ULL; }
+
+struct V2Header {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_directed_edges = 0;
+  std::uint64_t num_symmetric_edges = 0;
+};
+
+/// Byte offsets of the five arrays relative to the header start, plus the
+/// total snapshot size. Call validate_v2_header first: with n and s bounded
+/// none of the sums below can overflow.
+struct V2Layout {
+  std::uint64_t offsets;
+  std::uint64_t neighbors;
+  std::uint64_t directions;
+  std::uint64_t out_degree;
+  std::uint64_t in_degree;
+  std::uint64_t total;
+};
+
+V2Layout v2_layout(const V2Header& h) {
+  const std::uint64_t n = h.num_vertices;
+  const std::uint64_t s = h.num_symmetric_edges;
+  V2Layout l{};
+  std::uint64_t pos = kV2HeaderBytes;
+  l.offsets = pos = pad8(pos);
+  pos += (n + 1) * sizeof(EdgeIndex);
+  l.neighbors = pos = pad8(pos);
+  pos += s * sizeof(VertexId);
+  l.directions = pos = pad8(pos);
+  pos += s * sizeof(EdgeDir);
+  l.out_degree = pos = pad8(pos);
+  pos += n * sizeof(std::uint32_t);
+  l.in_degree = pos = pad8(pos);
+  pos += n * sizeof(std::uint32_t);
+  l.total = pos;
+  return l;
+}
+
+/// Rejects headers whose counts are inconsistent or cannot fit in
+/// `available` payload bytes (when known) *before* any allocation.
+void validate_v2_header(const V2Header& h,
+                        std::optional<std::uint64_t> available) {
+  if (h.num_vertices > static_cast<std::uint64_t>(kInvalidVertex)) {
+    throw IoError("read_binary: vertex count too large");
+  }
+  // Each symmetric edge occupies at least 5 bytes (neighbor + direction),
+  // so any plausible s is far below 2^60; larger values mean corruption
+  // and would overflow the layout arithmetic.
+  if (h.num_symmetric_edges > (std::uint64_t{1} << 60)) {
+    throw IoError("read_binary: symmetric edge count too large");
+  }
+  if (h.num_directed_edges > h.num_symmetric_edges) {
+    throw IoError("read_binary: directed edge count exceeds symmetric count");
+  }
+  if (available.has_value()) {
+    const V2Layout l = v2_layout(h);
+    if (l.total - kV2HeaderBytes > *available) {
+      throw IoError("read_binary: header counts exceed stream size");
+    }
+  }
+}
+
+/// Bytes left in a seekable stream; nullopt when the stream cannot seek.
+std::optional<std::uint64_t> remaining_bytes(std::istream& is) {
+  const auto pos = is.tellg();
+  if (pos < 0) return std::nullopt;
+  is.seekg(0, std::ios_base::end);
+  const auto endpos = is.tellg();
+  is.seekg(pos);
+  if (endpos < 0 || endpos < pos) return std::nullopt;
+  return static_cast<std::uint64_t>(endpos - pos);
+}
+
+/// Reads `count` elements into `out`, growing in bounded steps so a corrupt
+/// count on a non-seekable stream cannot trigger a huge up-front allocation.
+template <typename T>
+void read_array_chunked(std::istream& is, std::vector<T>& out,
+                        std::uint64_t count) {
+  constexpr std::uint64_t kStepBytes = std::uint64_t{1} << 24;  // 16 MiB
+  const std::uint64_t step = std::max<std::uint64_t>(kStepBytes / sizeof(T), 1);
+  out.clear();
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::uint64_t take = std::min(count - done, step);
+    out.resize(static_cast<std::size_t>(done + take));
+    is.read(reinterpret_cast<char*>(out.data() + done),
+            static_cast<std::streamsize>(take * sizeof(T)));
+    if (!is) throw IoError("read_binary: truncated stream");
+    done += take;
+  }
+}
+
+void skip_padding(std::istream& is, std::uint64_t& pos) {
+  while (pos % 8 != 0) {
+    if (is.get() == std::char_traits<char>::eof()) {
+      throw IoError("read_binary: truncated stream");
+    }
+    ++pos;
+  }
+}
+
+Graph read_v1_body(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  const auto m = read_pod<std::uint64_t>(is);
+  if (n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    throw IoError("read_binary: vertex count too large");
+  }
+  if (const auto avail = remaining_bytes(is);
+      avail.has_value() && m > *avail / (2 * sizeof(std::uint32_t))) {
+    throw IoError("read_binary: header counts exceed stream size");
+  }
+  GraphBuilder builder(n);
+  std::vector<std::uint32_t> buf;
+  std::uint64_t done = 0;
+  constexpr std::uint64_t kEdgesPerChunk = std::uint64_t{1} << 20;
+  while (done < m) {
+    const std::uint64_t take = std::min(m - done, kEdgesPerChunk);
+    read_array_chunked(is, buf, take * 2);
+    for (std::uint64_t i = 0; i < take; ++i) {
+      const std::uint32_t u = buf[2 * i];
+      const std::uint32_t v = buf[2 * i + 1];
+      if (u >= n || v >= n) {
+        throw IoError("read_binary: edge endpoint out of range");
+      }
+      builder.add_edge(u, v);
+    }
+    done += take;
+  }
+  return builder.build();
+}
+
+V2Header read_v2_header_tail(std::istream& is) {
+  V2Header h{};
+  h.num_vertices = read_pod<std::uint64_t>(is);
+  h.num_directed_edges = read_pod<std::uint64_t>(is);
+  h.num_symmetric_edges = read_pod<std::uint64_t>(is);
+  return h;
+}
+
+Graph read_v2_body(std::istream& is) {
+  const V2Header h = read_v2_header_tail(is);
+  validate_v2_header(h, remaining_bytes(is));
+
+  GraphStorage::Arrays arrays;
+  arrays.num_directed_edges = h.num_directed_edges;
+  std::uint64_t pos = kV2HeaderBytes;  // header fully consumed, 8-aligned
+  const auto read_array = [&](auto& vec, std::uint64_t count) {
+    skip_padding(is, pos);
+    read_array_chunked(is, vec, count);
+    pos += count * sizeof(typename std::remove_reference_t<
+                          decltype(vec)>::value_type);
+  };
+  read_array(arrays.offsets, h.num_vertices + 1);
+  read_array(arrays.neighbors, h.num_symmetric_edges);
+  read_array(arrays.directions, h.num_symmetric_edges);
+  read_array(arrays.out_degree, h.num_vertices);
+  read_array(arrays.in_degree, h.num_vertices);
+  // The stream path already pays O(n + s); validate the payload's
+  // structure — offset monotonicity, neighbor bounds, direction-flag
+  // domain, degree sums — so a bit-flipped snapshot surfaces as IoError,
+  // not a downstream crash. (Per-vertex neighbor sortedness is the one
+  // invariant left unchecked.)
+  if (arrays.offsets.front() != 0 ||
+      arrays.offsets.back() != h.num_symmetric_edges ||
+      !std::is_sorted(arrays.offsets.begin(), arrays.offsets.end())) {
+    throw IoError("read_binary: inconsistent offset array");
+  }
+  for (const VertexId v : arrays.neighbors) {
+    if (v >= h.num_vertices) {
+      throw IoError("read_binary: neighbor id out of range");
+    }
+  }
+  for (const EdgeDir d : arrays.directions) {
+    const auto bits = static_cast<std::uint8_t>(d);
+    if (bits < 1 || bits > 3) {
+      throw IoError("read_binary: invalid direction flag");
+    }
+  }
+  std::uint64_t out_sum = 0;
+  std::uint64_t in_sum = 0;
+  for (const std::uint32_t d : arrays.out_degree) out_sum += d;
+  for (const std::uint32_t d : arrays.in_degree) in_sum += d;
+  if (out_sum != h.num_directed_edges || in_sum != h.num_directed_edges) {
+    throw IoError("read_binary: degree arrays disagree with edge count");
+  }
+  return Graph(GraphStorage::from_arrays(std::move(arrays)));
+}
+
+#if FRONTIER_HAS_MMAP
+Graph map_v2_file(MmapFile file, const std::string& path) {
+  const std::byte* base = file.data();
+  V2Header h{};
+  std::memcpy(&h.num_vertices, base + 16, sizeof(std::uint64_t));
+  std::memcpy(&h.num_directed_edges, base + 24, sizeof(std::uint64_t));
+  std::memcpy(&h.num_symmetric_edges, base + 32, sizeof(std::uint64_t));
+  validate_v2_header(h, std::nullopt);
+  const V2Layout l = v2_layout(h);
+  if (l.total != file.size()) {
+    throw IoError("read_binary: snapshot size mismatch (" + path +
+                  " is truncated or corrupt)");
+  }
+
+  // The arrays start on 8-byte boundaries of the page-aligned mapping, so
+  // the reinterpret_casts below are properly aligned. Unlike the stream
+  // path, array *contents* beyond the O(1) checks here are trusted — a
+  // full scan would defeat the O(1)-load contract. Snapshots from
+  // untrusted sources should go through read_binary (stream) once.
+  GraphStorage::Views views;
+  views.num_directed_edges = h.num_directed_edges;
+  views.offsets = {reinterpret_cast<const EdgeIndex*>(base + l.offsets),
+                   static_cast<std::size_t>(h.num_vertices + 1)};
+  views.neighbors = {reinterpret_cast<const VertexId*>(base + l.neighbors),
+                     static_cast<std::size_t>(h.num_symmetric_edges)};
+  views.directions = {reinterpret_cast<const EdgeDir*>(base + l.directions),
+                      static_cast<std::size_t>(h.num_symmetric_edges)};
+  views.out_degree = {
+      reinterpret_cast<const std::uint32_t*>(base + l.out_degree),
+      static_cast<std::size_t>(h.num_vertices)};
+  views.in_degree = {
+      reinterpret_cast<const std::uint32_t*>(base + l.in_degree),
+      static_cast<std::size_t>(h.num_vertices)};
+  if (views.offsets.front() != 0 ||
+      views.offsets.back() != h.num_symmetric_edges) {
+    throw IoError("read_binary: inconsistent offset array");
+  }
+  return Graph(GraphStorage::from_mapped(std::move(file), views));
+}
+#endif
+
 }  // namespace
 
 void write_edge_list(const Graph& g, std::ostream& os) {
@@ -63,56 +458,84 @@ void write_edge_list(const Graph& g, std::ostream& os) {
 void write_edge_list_file(const Graph& g, const std::string& path) {
   auto f = open_out(path, std::ios_base::out);
   write_edge_list(g, f);
+  flush_or_throw(f, "write_edge_list", path);
 }
 
-Graph read_edge_list(std::istream& is) {
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(is, line)) {
-    ++lineno;
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    std::istringstream ls(line);
-    std::uint64_t a = 0, b = 0;
-    if (!(ls >> a >> b)) {
-      throw IoError("read_edge_list: parse error at line " +
-                    std::to_string(lineno));
-    }
-    raw.emplace_back(a, b);
-  }
-
-  // Densify by *numeric order* so graphs written by write_edge_list (which
-  // are already dense) round-trip with identical vertex ids.
-  std::vector<std::uint64_t> ids;
-  ids.reserve(raw.size() * 2);
-  for (const auto& [a, b] : raw) {
-    ids.push_back(a);
-    ids.push_back(b);
-  }
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  std::unordered_map<std::uint64_t, VertexId> dense;
-  dense.reserve(ids.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    dense.emplace(ids[i], static_cast<VertexId>(i));
-  }
-
-  GraphBuilder builder(ids.size());
-  for (const auto& [a, b] : raw) {
-    builder.add_edge(dense.at(a), dense.at(b));
-  }
-  return builder.build();
+Graph read_edge_list(std::istream& is, std::size_t threads) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = std::move(buffer).str();
+  return parse_edge_list_text(text, threads);
 }
 
-Graph read_edge_list_file(const std::string& path) {
-  auto f = open_in(path, std::ios_base::in);
-  return read_edge_list(f);
+Graph read_edge_list_file(const std::string& path, std::size_t threads) {
+#if FRONTIER_HAS_MMAP
+  // Map the text read-only instead of copying it: the parser only needs a
+  // string_view, so peak memory stays at the parsed edges, not file + copy.
+  const MmapFile file = MmapFile::open(path);
+  const char* data = reinterpret_cast<const char*>(file.data());
+  return parse_edge_list_text(
+      data == nullptr ? std::string_view{}
+                      : std::string_view(data, file.size()),
+      threads);
+#else
+  auto f = open_in(path, std::ios_base::in | std::ios_base::binary);
+  f.seekg(0, std::ios_base::end);
+  const auto size = f.tellg();
+  if (size < 0) throw IoError("read_edge_list: cannot size " + path);
+  f.seekg(0);
+  std::string text(static_cast<std::size_t>(size), '\0');
+  f.read(text.data(), size);
+  if (!f && size != 0) throw IoError("read_edge_list: short read: " + path);
+  return parse_edge_list_text(text, threads);
+#endif
 }
 
 void write_binary(const Graph& g, std::ostream& os) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t s = g.num_symmetric_edges();
   write_pod(os, kMagic);
-  write_pod<std::uint32_t>(os, 1);  // format version
+  write_pod<std::uint32_t>(os, 2);  // format version
+  write_pod<std::uint32_t>(os, 0);  // reserved (alignment)
+  write_pod<std::uint64_t>(os, n);
+  write_pod<std::uint64_t>(os, g.num_directed_edges());
+  write_pod<std::uint64_t>(os, s);
+
+  std::uint64_t pos = kV2HeaderBytes;
+  const auto write_array = [&](const void* data, std::uint64_t bytes) {
+    while (pos % 8 != 0) {
+      os.put('\0');
+      ++pos;
+    }
+    os.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+    pos += bytes;
+  };
+  const auto offsets = g.offsets();
+  if (offsets.empty()) {
+    // Default-constructed empty graph: emit the canonical one-entry array.
+    const EdgeIndex zero = 0;
+    write_array(&zero, sizeof(zero));
+  } else {
+    write_array(offsets.data(), offsets.size_bytes());
+  }
+  write_array(g.neighbor_array().data(), g.neighbor_array().size_bytes());
+  write_array(g.direction_array().data(), g.direction_array().size_bytes());
+  write_array(g.out_degree_array().data(),
+              g.out_degree_array().size_bytes());
+  write_array(g.in_degree_array().data(), g.in_degree_array().size_bytes());
+  if (!os) throw IoError("write_binary: stream failure");
+}
+
+void write_binary_file(const Graph& g, const std::string& path) {
+  auto f = open_out(path, std::ios_base::out | std::ios_base::binary);
+  write_binary(g, f);
+  flush_or_throw(f, "write_binary", path);
+}
+
+void write_binary_v1(const Graph& g, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod<std::uint32_t>(os, 1);  // legacy format version
   write_pod<std::uint64_t>(os, g.num_vertices());
   write_pod<std::uint64_t>(os, g.num_directed_edges());
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
@@ -126,12 +549,7 @@ void write_binary(const Graph& g, std::ostream& os) {
       }
     }
   }
-  if (!os) throw IoError("write_binary: stream failure");
-}
-
-void write_binary_file(const Graph& g, const std::string& path) {
-  auto f = open_out(path, std::ios_base::out | std::ios_base::binary);
-  write_binary(g, f);
+  if (!os) throw IoError("write_binary_v1: stream failure");
 }
 
 Graph read_binary(std::istream& is) {
@@ -139,19 +557,30 @@ Graph read_binary(std::istream& is) {
     throw IoError("read_binary: bad magic");
   }
   const auto version = read_pod<std::uint32_t>(is);
-  if (version != 1) throw IoError("read_binary: unsupported version");
-  const auto n = read_pod<std::uint64_t>(is);
-  const auto m = read_pod<std::uint64_t>(is);
-  GraphBuilder builder(n);
-  for (std::uint64_t i = 0; i < m; ++i) {
-    const auto u = read_pod<std::uint32_t>(is);
-    const auto v = read_pod<std::uint32_t>(is);
-    builder.add_edge(u, v);
+  if (version == 1) return read_v1_body(is);
+  if (version == 2) {
+    (void)read_pod<std::uint32_t>(is);  // reserved
+    return read_v2_body(is);
   }
-  return builder.build();
+  throw IoError("read_binary: unsupported version");
 }
 
 Graph read_binary_file(const std::string& path) {
+#if FRONTIER_HAS_MMAP
+  MmapFile file = MmapFile::open(path);
+  if (file.size() < kV2HeaderBytes) {
+    // Could still be a (short, corrupt) v1 header; the stream path produces
+    // the precise error.
+    auto f = open_in(path, std::ios_base::in | std::ios_base::binary);
+    return read_binary(f);
+  }
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::memcpy(&magic, file.data(), sizeof(magic));
+  std::memcpy(&version, file.data() + 8, sizeof(version));
+  if (magic != kMagic) throw IoError("read_binary: bad magic");
+  if (version == 2) return map_v2_file(std::move(file), path);
+#endif
   auto f = open_in(path, std::ios_base::in | std::ios_base::binary);
   return read_binary(f);
 }

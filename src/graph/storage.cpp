@@ -1,0 +1,104 @@
+#include "graph/storage.hpp"
+
+#include <utility>
+
+#include "graph/io.hpp"
+
+#if FRONTIER_HAS_MMAP
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace frontier {
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() { reset(); }
+
+void MmapFile::reset() noexcept {
+#if FRONTIER_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+MmapFile MmapFile::open(const std::string& path) {
+#if FRONTIER_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw IoError("mmap: cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("mmap: fstat failed for " + path + ": " +
+                  std::strerror(err));
+  }
+  MmapFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  file.mapped_ = true;
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw IoError("mmap failed for " + path + ": " + std::strerror(err));
+    }
+    file.data_ = static_cast<const std::byte*>(addr);
+  }
+  // The mapping keeps the pages; the descriptor is no longer needed.
+  ::close(fd);
+  return file;
+#else
+  throw IoError("memory-mapped loading is unavailable on this platform: " +
+                path);
+#endif
+}
+
+std::shared_ptr<const GraphStorage> GraphStorage::from_arrays(Arrays arrays) {
+  auto storage = std::shared_ptr<GraphStorage>(new GraphStorage());
+  storage->arrays_ = std::move(arrays);
+  storage->mapped_ = false;
+  const Arrays& a = storage->arrays_;
+  storage->views_ = Views{.offsets = a.offsets,
+                          .neighbors = a.neighbors,
+                          .directions = a.directions,
+                          .out_degree = a.out_degree,
+                          .in_degree = a.in_degree,
+                          .num_directed_edges = a.num_directed_edges};
+  return storage;
+}
+
+std::shared_ptr<const GraphStorage> GraphStorage::from_mapped(
+    MmapFile file, const Views& views) {
+  auto storage = std::shared_ptr<GraphStorage>(new GraphStorage());
+  storage->file_ = std::move(file);
+  storage->views_ = views;
+  storage->mapped_ = true;
+  return storage;
+}
+
+}  // namespace frontier

@@ -1,0 +1,171 @@
+// GraphStorage backends: owned-vs-mmap equivalence, v1 -> v2 migration,
+// storage sharing across Graph copies, and the parallel ingestion helpers.
+#include "graph/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace frontier {
+namespace {
+
+/// Full structural equality: counts, degrees, adjacency, and direction
+/// flags — stronger than the degree-only check in test_io.
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  ASSERT_EQ(a.num_symmetric_edges(), b.num_symmetric_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.out_degree(v), b.out_degree(v)) << "vertex " << v;
+    ASSERT_EQ(a.in_degree(v), b.in_degree(v)) << "vertex " << v;
+    const auto an = a.neighbors(v);
+    const auto bn = b.neighbors(v);
+    ASSERT_TRUE(std::equal(an.begin(), an.end(), bn.begin(), bn.end()))
+        << "neighbors of " << v;
+    const auto ad = a.directions(v);
+    const auto bd = b.directions(v);
+    ASSERT_TRUE(std::equal(ad.begin(), ad.end(), bd.begin(), bd.end()))
+        << "directions of " << v;
+  }
+}
+
+Graph make_test_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  return directed_preferential(400, 3, 0.4, rng);
+}
+
+TEST(GraphStorage, OwnedVsMmapEquivalence) {
+  const Graph owned = make_test_graph(11);
+  EXPECT_FALSE(owned.is_memory_mapped());
+
+  const std::string path = ::testing::TempDir() + "storage_v2.bin";
+  write_binary_file(owned, path);
+  const Graph mapped = read_binary_file(path);
+#if FRONTIER_HAS_MMAP
+  EXPECT_TRUE(mapped.is_memory_mapped());
+#endif
+  expect_identical(owned, mapped);
+
+  // Derived queries must agree too.
+  EXPECT_EQ(owned.max_degree(), mapped.max_degree());
+  EXPECT_DOUBLE_EQ(owned.average_degree(), mapped.average_degree());
+  for (EdgeIndex j = 0; j < std::min<EdgeIndex>(owned.volume(), 64); ++j) {
+    EXPECT_EQ(owned.edge_at(j), mapped.edge_at(j)) << "slot " << j;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GraphStorage, StreamReadOfV2IsOwnedAndEquivalent) {
+  const Graph g = make_test_graph(12);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, ss);
+  const Graph loaded = read_binary(ss);
+  EXPECT_FALSE(loaded.is_memory_mapped());
+  expect_identical(g, loaded);
+}
+
+TEST(GraphStorage, V1ToV2Migration) {
+  const Graph g = make_test_graph(13);
+  const std::string v1_path = ::testing::TempDir() + "migrate_v1.bin";
+  const std::string v2_path = ::testing::TempDir() + "migrate_v2.bin";
+
+  // Legacy v1 snapshot loads through the rebuild path (never mapped).
+  {
+    std::ofstream f(v1_path, std::ios::binary);
+    write_binary_v1(g, f);
+  }
+  const Graph from_v1 = read_binary_file(v1_path);
+  EXPECT_FALSE(from_v1.is_memory_mapped());
+  expect_identical(g, from_v1);
+
+  // Migrating: rewrite as v2, reload zero-copy.
+  write_binary_file(from_v1, v2_path);
+  const Graph from_v2 = read_binary_file(v2_path);
+#if FRONTIER_HAS_MMAP
+  EXPECT_TRUE(from_v2.is_memory_mapped());
+#endif
+  expect_identical(g, from_v2);
+
+  std::filesystem::remove(v1_path);
+  std::filesystem::remove(v2_path);
+}
+
+TEST(GraphStorage, CopiesShareStorageAndOutliveTheOriginal) {
+  const std::string path = ::testing::TempDir() + "storage_share.bin";
+  const Graph original = make_test_graph(14);
+  write_binary_file(original, path);
+
+  Graph copy;
+  {
+    const Graph mapped = read_binary_file(path);
+    copy = mapped;  // shares the mapping
+  }
+  // The mapping must stay alive through the copy after `mapped` died.
+  expect_identical(original, copy);
+  std::filesystem::remove(path);
+}
+
+TEST(ParallelIngestion, ThreadCountDoesNotChangeTheParsedGraph) {
+  const Graph g = make_test_graph(15);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const std::string text = ss.str();
+
+  Graph first;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{7}}) {
+    std::stringstream in(text);
+    const Graph parsed = read_edge_list(in, threads);
+    expect_identical(g, parsed);
+    if (threads == 1) {
+      first = parsed;
+    } else {
+      expect_identical(first, parsed);
+    }
+  }
+}
+
+TEST(ParallelIngestion, ParallelSortMatchesStdSort) {
+  std::mt19937_64 prng(99);
+  std::vector<std::uint64_t> values(300000);
+  for (auto& v : values) v = prng();
+  std::vector<std::uint64_t> expected = values;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(values.begin(), values.end(), std::less<>{}, 4);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(ParallelIngestion, LargeBuilderSortRoundTrips) {
+  // Enough edges (> 64k entries) to engage the parallel block sort inside
+  // GraphBuilder::build(); the result must still round-trip exactly.
+  Rng rng(16);
+  const Graph g = barabasi_albert(40000, 2, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph reparsed = read_edge_list(ss, 4);
+  expect_identical(g, reparsed);
+
+  // CSR invariants: offsets monotone, per-vertex neighbor lists sorted.
+  const auto offsets = g.offsets();
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    ASSERT_LE(offsets[i], offsets[i + 1]);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    ASSERT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end())) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace frontier

@@ -12,6 +12,8 @@
 //       Write a synthetic graph as an edge list.
 //   frontier_cli convert <in> <out>
 //       Convert between text (.txt) and binary (.bin) formats by extension.
+//       Binary output is the format-v2 snapshot (raw CSR arrays), which
+//       later loads go on to memory-map zero-copy.
 //   frontier_cli spectral <edges.txt>
 //       Spectral gap / relaxation time of the RW kernel (graphs up to a few
 //       thousand vertices).
@@ -22,6 +24,10 @@
 //       Crawl with the streaming engine (O(1)-in-budget memory): online
 //       estimator sinks instead of a materialized sample, with optional
 //       periodic checkpoints and pause/resume.
+//
+//   Every subcommand that loads a graph accepts --mmap: the input must be
+//   a v2 .bin snapshot, which is served zero-copy from the page cache
+//   (O(1) load time); loading fails instead of silently rebuilding.
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -76,13 +82,18 @@ struct Args {
   }
 };
 
+/// Flags that never take a value, so "--mmap graph.bin" keeps the path as
+/// a positional argument.
+bool is_boolean_flag(const std::string& key) { return key == "mmap"; }
+
 Args parse_args(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       const std::string key = token.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      if (!is_boolean_flag(key) && i + 1 < argc &&
+          std::strncmp(argv[i + 1], "--", 2) != 0) {
         args.options[key] = argv[++i];
       } else {
         args.options[key] = "1";
@@ -94,11 +105,28 @@ Args parse_args(int argc, char** argv, int first) {
   return args;
 }
 
-Graph load(const std::string& path) {
-  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
-    return read_binary_file(path);
+Graph load(const Args& args, const std::string& path) {
+  const bool want_mmap = args.options.count("mmap") != 0;
+  const bool is_bin =
+      path.size() > 4 && path.substr(path.size() - 4) == ".bin";
+  if (want_mmap && !is_bin) {
+    throw std::invalid_argument(
+        "--mmap requires a .bin snapshot (create one with: frontier_cli "
+        "convert " +
+        path + " graph.bin)");
   }
-  return read_edge_list_file(path);
+  Graph g = is_bin ? read_binary_file(path) : read_edge_list_file(path);
+  if (want_mmap && !g.is_memory_mapped()) {
+#if FRONTIER_HAS_MMAP
+    throw std::invalid_argument(
+        "--mmap: " + path +
+        " is a legacy v1 snapshot; re-write it as v2 with convert");
+#else
+    throw std::invalid_argument(
+        "--mmap: memory-mapped loading is unavailable on this platform");
+#endif
+  }
+  return g;
 }
 
 void save(const Graph& g, const std::string& path) {
@@ -114,7 +142,7 @@ int cmd_summarize(const Args& args) {
     std::cerr << "usage: frontier_cli summarize <edges.txt>\n";
     return 2;
   }
-  const Graph g = load(args.positional[0]);
+  const Graph g = load(args, args.positional[0]);
   const GraphSummary s = summarize(g, args.positional[0]);
   const ComponentInfo comps = connected_components(g);
 
@@ -147,7 +175,7 @@ struct CrawlSetup {
 };
 
 CrawlSetup crawl_setup(const Args& args) {
-  CrawlSetup s{.graph = load(args.positional[0]),
+  CrawlSetup s{.graph = load(args, args.positional[0]),
                .method = args.get("method", "fs"),
                .rng = Rng(args.get_count("seed", 1))};
   s.budget = args.get_num(
@@ -377,7 +405,7 @@ int cmd_convert(const Args& args) {
     std::cerr << "usage: frontier_cli convert <in> <out>\n";
     return 2;
   }
-  const Graph g = load(args.positional[0]);
+  const Graph g = load(args, args.positional[0]);
   save(g, args.positional[1]);
   std::cout << "converted " << g.summary() << "\n";
   return 0;
@@ -388,7 +416,7 @@ int cmd_spectral(const Args& args) {
     std::cerr << "usage: frontier_cli spectral <edges.txt>\n";
     return 2;
   }
-  Graph g = load(args.positional[0]);
+  Graph g = load(args, args.positional[0]);
   if (!is_connected(g)) {
     std::cout << "graph is disconnected; analyzing the LCC\n";
     g = largest_connected_component(g).graph;
