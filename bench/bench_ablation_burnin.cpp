@@ -4,10 +4,11 @@
 // FS needs no burn-in at all.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_ablation_burnin");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -46,19 +47,22 @@ int main() {
     const auto burn = static_cast<std::uint64_t>(frac * budget);
     const std::uint64_t kept = total - burn - 1;
     const SingleRandomWalk walker(g, {.steps = kept, .burn_in = burn});
-    table.add_row(
-        {"SingleRW", std::to_string(burn), std::to_string(kept),
-         format_number(gm_error(
-             [&](Rng& rng) { return walker.run(rng).edges; },
-             static_cast<std::uint64_t>(frac * 100)))});
+    const double err =
+        gm_error([&](Rng& rng) { return walker.run(rng).edges; },
+                 static_cast<std::uint64_t>(frac * 100));
+    table.add_row({"SingleRW", std::to_string(burn), std::to_string(kept),
+                   format_number(err)});
+    session.metric("cnmse/SingleRW/burn=" + std::to_string(burn), err);
   }
   const std::size_t m = scaled_dimension(budget, 17152.0, 1000, 10);
   const FrontierSampler fs(
       g, {.dimension = m, .steps = frontier_steps(budget, m, 1.0)});
+  const double fs_err =
+      gm_error([&](Rng& rng) { return fs.run(rng).edges; }, 999);
   table.add_row({"FS(m=" + std::to_string(m) + ")", "0",
                  std::to_string(frontier_steps(budget, m, 1.0)),
-                 format_number(gm_error(
-                     [&](Rng& rng) { return fs.run(rng).edges; }, 999))});
+                 format_number(fs_err)});
+  session.metric("cnmse/FS", fs_err);
   table.print(std::cout);
   std::cout << "\nexpected shape: burn-in helps SingleRW a little, then "
                "hurts (it spends budget without sampling); FS beats every "

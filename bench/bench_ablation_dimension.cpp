@@ -7,10 +7,11 @@
 //     no steps at all.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_ablation_dimension");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -44,8 +45,10 @@ int main() {
          log_spaced_degrees(static_cast<std::uint32_t>(truth.size() - 1))) {
       if (d < curve.size()) at_display.push_back(curve[d]);
     }
+    const double err = geometric_mean_positive(at_display);
     table.add_row({std::to_string(m), std::to_string(steps),
-                   format_number(geometric_mean_positive(at_display))});
+                   format_number(err)});
+    session.metric("cnmse/m=" + std::to_string(m), err);
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: error falls as m grows (robustness to "

@@ -5,10 +5,11 @@
 // floor(B/m - c) hits zero).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_ablation_jump_cost");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -51,17 +52,21 @@ int main() {
     if (fs_steps > 0) {
       const FrontierSampler fs(g, {.dimension = m, .steps = fs_steps,
                                    .jump_cost = c});
-      fs_err = format_number(gm_error(
-          [&](Rng& rng) { return fs.run(rng).edges; },
-          static_cast<std::uint64_t>(c * 10)));
+      const double err =
+          gm_error([&](Rng& rng) { return fs.run(rng).edges; },
+                   static_cast<std::uint64_t>(c * 10));
+      fs_err = format_number(err);
+      session.metric("cnmse/FS/c=" + format_number(c, 2), err);
     }
     if (mrw_steps > 0) {
       const MultipleRandomWalks mrw(
           g, {.num_walkers = m, .steps_per_walker = mrw_steps,
               .jump_cost = c});
-      mrw_err = format_number(gm_error(
-          [&](Rng& rng) { return mrw.run(rng).edges; },
-          static_cast<std::uint64_t>(c * 10) + 1));
+      const double err =
+          gm_error([&](Rng& rng) { return mrw.run(rng).edges; },
+                   static_cast<std::uint64_t>(c * 10) + 1);
+      mrw_err = format_number(err);
+      session.metric("cnmse/MRW/c=" + format_number(c, 2), err);
     }
     table.add_row({format_number(c, 2), std::to_string(fs_steps), fs_err,
                    std::to_string(mrw_steps), mrw_err});

@@ -4,10 +4,11 @@
 // (Figs. 5, 10) to the structural cause (Section 4.3).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_bottleneck_diagnostics");
+  ExperimentConfig cfg = session.config();
   // Spectral analysis is dense-ish; shrink the surrogates.
   cfg.scale_multiplier *= 0.2;
 
@@ -34,6 +35,9 @@ int main() {
                    format_number(s.relaxation_time, 3), format_number(lo, 3),
                    format_number(cut.conductance, 3), format_number(hi, 3),
                    std::to_string(cut.side.size())});
+    session.metric("spectral_gap/" + ds.name, s.spectral_gap);
+    session.metric("relaxation_time/" + ds.name, s.relaxation_time);
+    session.metric("sweep_conductance/" + ds.name, cut.conductance);
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: the GAB graphs and the "

@@ -1,9 +1,89 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <string_view>
+#include <utility>
 
 namespace frontier::bench {
+namespace {
+
+/// 52-bit hash over every curve value, degree, and method name — small
+/// enough to live losslessly in a double-valued metric. Uses the same
+/// FNV-1a core as BenchReport::config_fingerprint.
+double curve_fingerprint(const CurveResult& result) {
+  std::uint64_t hash = kFnv1aOffsetBasis;
+  for (const std::uint32_t d : result.degrees) hash = fnv1a_u64(hash, d);
+  for (const std::string& name : result.names) {
+    hash = fnv1a_bytes(hash, name.data(), name.size());
+  }
+  for (const auto& curve : result.curves) {
+    for (const double v : curve) {
+      hash = fnv1a_u64(hash, std::bit_cast<std::uint64_t>(v));
+    }
+  }
+  for (const double v : result.mean_error) {
+    hash = fnv1a_u64(hash, std::bit_cast<std::uint64_t>(v));
+  }
+  return static_cast<double>(hash & ((std::uint64_t{1} << 52) - 1));
+}
+
+}  // namespace
+
+BenchSession::BenchSession(int argc, char** argv, std::string name)
+    : start_(std::chrono::steady_clock::now()) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "bad argument: --json requires a file path\n";
+        std::exit(2);
+      }
+      json_path_ = argv[i + 1];
+      ++i;
+    }
+  }
+  try {
+    config_ = ExperimentConfig::from_env();
+  } catch (const std::exception& e) {
+    std::cerr << "bad environment: " << e.what() << '\n';
+    std::exit(2);
+  }
+  report_ = BenchReport::make(std::move(name), config_);
+}
+
+BenchSession::~BenchSession() {
+  if (json_path_.empty()) return;
+  report_.add_metric("threads_resolved",
+                     static_cast<double>(resolve_threads(config_.threads)));
+  report_.wall_time_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  try {
+    report_.write_file(json_path_);
+    std::cout << "wrote bench report: " << json_path_ << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    // Normal return would hide the lost report from CI; die loudly instead.
+    std::_Exit(3);
+  }
+}
+
+void BenchSession::metric(std::string name, double value, std::string unit) {
+  report_.add_metric(std::move(name), value, std::move(unit));
+}
+
+void BenchSession::add_curves(const CurveResult& result) {
+  const std::size_t summarized =
+      std::min(result.names.size(), result.mean_error.size());
+  for (std::size_t i = 0; i < summarized; ++i) {
+    metric("geo_mean_error/" + result.names[i], result.mean_error[i]);
+  }
+  metric("result_fingerprint", curve_fingerprint(result), "fnv52");
+}
 
 CurveResult degree_error_curves(const Graph& g,
                                 const std::vector<EdgeMethod>& methods,
@@ -17,19 +97,21 @@ CurveResult degree_error_curves(const Graph& g,
   result.degrees = log_spaced_degrees(
       static_cast<std::uint32_t>(truth.size() - 1));
 
+  const ReplicationRunner runner(runs, cfg.seed, cfg.threads);
   for (const EdgeMethod& method : methods) {
-    MseAccumulator acc = parallel_accumulate<MseAccumulator>(
-        runs, cfg.seed,
-        [&] { return MseAccumulator(truth); },
-        [&](std::size_t, Rng& rng, MseAccumulator& out) {
+    // Each run returns its estimate vector; add_run folds them into the
+    // accumulator in run order, so the curves (roundoff included) do not
+    // depend on how the runs were scheduled across workers.
+    MseAccumulator acc = runner.map_reduce(
+        MseAccumulator(truth),
+        [&](std::size_t, Rng& rng) {
           const auto edges = method.run(rng);
           const auto est = estimate_degree_distribution(g, edges, kind);
-          out.add_run(use_ccdf ? ccdf_from_pdf(est) : est);
+          return use_ccdf ? ccdf_from_pdf(est) : est;
         },
-        [](MseAccumulator& dst, const MseAccumulator& src) {
-          dst.merge(src);
-        },
-        cfg.threads);
+        [](MseAccumulator& dst, std::vector<double>&& est) {
+          dst.add_run(est);
+        });
     result.names.push_back(method.name);
     result.curves.push_back(acc.normalized_rmse());
     // Summarize only over the log-spaced display degrees so a long flat
@@ -71,6 +153,22 @@ std::size_t scaled_dimension(double budget, double paper_budget,
                              std::size_t paper_m, std::size_t floor_m) {
   const double scaled = static_cast<double>(paper_m) * budget / paper_budget;
   return std::max(floor_m, static_cast<std::size_t>(std::llround(scaled)));
+}
+
+int checked_env_int(const char* name, int fallback) {
+  try {
+    const std::uint64_t value =
+        env_u64(name, static_cast<std::uint64_t>(fallback));
+    if (value > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+      throw std::invalid_argument(std::string(name) + "=" +
+                                  std::to_string(value) +
+                                  ": value does not fit in int");
+    }
+    return static_cast<int>(value);
+  } catch (const std::exception& e) {
+    std::cerr << "bad environment: " << e.what() << '\n';
+    std::exit(2);
+  }
 }
 
 }  // namespace frontier::bench

@@ -7,9 +7,15 @@
 // is the reproduction target and is what EXPERIMENTS.md records.
 //
 // Environment knobs: FS_RUNS, FS_SCALE, FS_THREADS, FS_SEED (see
-// experiments/config.hpp).
+// experiments/config.hpp; malformed values are a fatal error, exit 2).
+//
+// Every binary additionally accepts `--json <path>`: on exit the harness
+// writes a BenchReport (stats/bench_report.hpp) there — name, config
+// fingerprint, wall time, and whatever metrics the bench recorded — which
+// is what CI's perf-smoke job uploads and validates.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -33,9 +39,44 @@ struct CurveResult {
   std::vector<double> mean_error;               // mean positive NMSE per method
 };
 
+/// Per-bench lifetime object: parses the shared `--json <path>` flag
+/// (leaving any bench-specific arguments alone), loads the experiment
+/// configuration from the environment — exiting 2 with a clear message on
+/// malformed FS_* knobs — and, on destruction, writes the accumulated
+/// BenchReport when a path was given (exit 3 if the write fails).
+class BenchSession {
+ public:
+  BenchSession(int argc, char** argv, std::string name);
+  ~BenchSession();
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Records one named metric in the report.
+  void metric(std::string name, double value, std::string unit = "");
+
+  /// Records per-method geometric-mean errors plus `result_fingerprint`, a
+  /// 52-bit FNV-1a hash over every curve value's bit pattern. Reports from
+  /// different FS_THREADS settings must show the *same* fingerprint — the
+  /// replication engine is bit-identical across thread counts — while
+  /// their wall_time_seconds exposes the parallel speedup.
+  void add_curves(const CurveResult& result);
+
+ private:
+  ExperimentConfig config_;
+  BenchReport report_;
+  std::string json_path_;  // empty = report discarded
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Runs `runs` replications of each method, estimating the `kind` degree
 /// distribution (as CCDF when `use_ccdf`), and returns per-degree
-/// normalized RMSE curves against the exact distribution of `g`.
+/// normalized RMSE curves against the exact distribution of `g`. Fanned
+/// across resolve_threads(cfg.threads) workers by ReplicationRunner; the
+/// result is bit-identical for any thread count.
 CurveResult degree_error_curves(const Graph& g,
                                 const std::vector<EdgeMethod>& methods,
                                 DegreeKind kind, bool use_ccdf,
@@ -58,5 +99,9 @@ void print_header(const std::string& title, const Graph& g,
 [[nodiscard]] std::size_t scaled_dimension(double budget, double paper_budget,
                                            std::size_t paper_m,
                                            std::size_t floor_m = 10);
+
+/// Small-integer env knob (e.g. FS_STREAM_MAX_EXP) with the same strict
+/// parsing as the FS_* knobs: malformed values exit 2 with a message.
+[[nodiscard]] int checked_env_int(const char* name, int fallback);
 
 }  // namespace frontier::bench

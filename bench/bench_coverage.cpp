@@ -5,10 +5,11 @@
 // component/community from the start.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_coverage");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -79,6 +80,9 @@ int main() {
                    format_number(mrw_curve[i], 5)});
   }
   table.print(std::cout);
+  session.metric("final_coverage/FS", fs_curve.back());
+  session.metric("final_coverage/SRW", srw_curve.back());
+  session.metric("final_coverage/MRW", mrw_curve.back());
   std::cout << "\nexpected shape: FS visits the most distinct vertices at "
                "every budget level; SRW's curve flattens first (revisits "
                "inside its neighborhood)\n";

@@ -4,10 +4,11 @@
 // when walkers start from uniformly sampled vertices.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig01_multiplerw_vs_singlerw");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -33,6 +34,7 @@ int main() {
   const CurveResult result =
       degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg);
   print_curve_result("in-degree", result);
+  session.add_curves(result);
 
   std::cout << "\nexpected shape: SingleRW below MultipleRW at most degrees\n";
   return 0;

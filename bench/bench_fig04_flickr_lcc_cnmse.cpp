@@ -4,10 +4,11 @@
 // components; SingleRW beats MultipleRW.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig04_flickr_lcc_cnmse");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph g = largest_connected_component(ds.graph).graph;
 
@@ -34,9 +35,10 @@ int main() {
       {"MultipleRW(m=" + std::to_string(m) + ")",
        [&](Rng& rng) { return mrw.run(rng).edges; }},
   };
-  print_curve_result(
-      "in-degree",
-      degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg));
+  const CurveResult result =
+      degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg);
+  print_curve_result("in-degree", result);
+  session.add_curves(result);
   std::cout << "\nexpected shape: FS lowest (paper: FS < SingleRW < "
                "MultipleRW; at bench scale MultipleRW ties FS while "
                "SingleRW trails — the community traps dominate here)\n";

@@ -3,10 +3,11 @@
 // widens substantially relative to Figure 4.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig05_flickr_full_cnmse");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -33,9 +34,10 @@ int main() {
       {"MultipleRW(m=" + std::to_string(m) + ")",
        [&](Rng& rng) { return mrw.run(rng).edges; }},
   };
-  print_curve_result(
-      "in-degree",
-      degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg));
+  const CurveResult result =
+      degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg);
+  print_curve_result("in-degree", result);
+  session.add_curves(result);
   std::cout << "\nexpected shape: FS < SingleRW < MultipleRW, with a wider "
                "FS gap than Figure 4 (disconnected components)\n";
   return 0;

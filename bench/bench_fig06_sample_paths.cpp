@@ -34,9 +34,10 @@ class RunningDensity {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig06_sample_paths");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -130,6 +131,8 @@ int main() {
   }
 
   print_curves(std::cout, "steps n", checkpoints, names, series);
+  session.metric("theta_1_target", theta1);
+  session.add_curves(CurveResult{checkpoints, names, series, {}});
   std::cout << "\ntarget theta_1 = " << format_number(theta1)
             << "\nexpected shape: FS paths converge to the target; SRW/MRW "
                "paths settle off-target when trapped outside/inside the "

@@ -1,22 +1,27 @@
 // Figure 7: log-log plot of the LiveJournal out-degree CCDF (ground truth).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig07_livejournal_ccdf");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_livejournal(cfg);
   const Graph& g = ds.graph;
   print_header("Figure 7: LiveJournal out-degree CCDF (exact)", g, "");
 
   const auto gamma = ccdf_from_pdf(degree_distribution(g, DegreeKind::kOut));
   TextTable table({"out-degree", "CCDF"});
+  std::size_t points = 0;
   for (std::uint32_t d :
        log_spaced_degrees(static_cast<std::uint32_t>(gamma.size() - 1))) {
     if (gamma[d] <= 0.0) continue;
     table.add_row({std::to_string(d), format_number(gamma[d], 4)});
+    ++points;
   }
   table.print(std::cout);
+  session.metric("ccdf_points", static_cast<double>(points));
+  session.metric("max_out_degree", static_cast<double>(gamma.size() - 1));
   std::cout << "\nexpected shape: heavy-tailed decay\n";
   return 0;
 }

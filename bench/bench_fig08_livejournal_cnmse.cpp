@@ -3,10 +3,11 @@
 // an order of magnitude more accurate at small out-degrees.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig08_livejournal_cnmse");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_livejournal(cfg);
   const Graph& g = ds.graph;
 
@@ -33,9 +34,10 @@ int main() {
       {"MultipleRW(m=" + std::to_string(m) + ")",
        [&](Rng& rng) { return mrw.run(rng).edges; }},
   };
-  print_curve_result(
-      "out-degree",
-      degree_error_curves(g, methods, DegreeKind::kOut, true, runs, cfg));
+  const CurveResult result =
+      degree_error_curves(g, methods, DegreeKind::kOut, true, runs, cfg);
+  print_curve_result("out-degree", result);
+  session.add_curves(result);
   std::cout << "\nexpected shape: FS lowest, biggest margin at small "
                "out-degrees\n";
   return 0;

@@ -5,10 +5,11 @@
 // MultipleRW paths converge to the same wrong value.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig09_gab_sample_paths");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_gab(cfg);
   const Graph& g = ds.graph;
 
@@ -96,6 +97,8 @@ int main() {
   }
 
   print_curves(std::cout, "steps n", checkpoints, names, series);
+  session.metric("theta_10_target", theta10);
+  session.add_curves(CurveResult{checkpoints, names, series, {}});
   std::cout << "\ntarget theta_10 = " << format_number(theta10)
             << "\nexpected shape: FS paths hug the target; SRW/MRW paths "
                "converge to component-local (wrong) values\n";

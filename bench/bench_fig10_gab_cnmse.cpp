@@ -4,10 +4,11 @@
 // connected bridge traps the independent walkers.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig10_gab_cnmse");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_gab(cfg);
   const Graph& g = ds.graph;
 
@@ -34,10 +35,10 @@ int main() {
       {"SingleRW", [&](Rng& rng) { return srw.run(rng).edges; }},
       {"MultipleRW(m=100)", [&](Rng& rng) { return mrw.run(rng).edges; }},
   };
-  print_curve_result(
-      "degree",
-      degree_error_curves(g, methods, DegreeKind::kSymmetric, true, runs,
-                          cfg));
+  const CurveResult result = degree_error_curves(
+      g, methods, DegreeKind::kSymmetric, true, runs, cfg);
+  print_curve_result("degree", result);
+  session.add_curves(result);
   std::cout << "\nexpected shape: FS lowest across the whole degree range\n";
   return 0;
 }

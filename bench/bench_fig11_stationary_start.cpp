@@ -4,10 +4,11 @@
 // the Figure 5 errors came from the uniform starting vertices.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig11_stationary_start");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -38,9 +39,10 @@ int main() {
       {"SingleRW(steady)", [&](Rng& rng) { return srw_ss.run(rng).edges; }},
       {"MultipleRW(steady)", [&](Rng& rng) { return mrw_ss.run(rng).edges; }},
   };
-  print_curve_result(
-      "in-degree",
-      degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg));
+  const CurveResult result =
+      degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg);
+  print_curve_result("in-degree", result);
+  session.add_curves(result);
   std::cout << "\nexpected shape: all three methods now comparable "
                "(MultipleRW's Figure 5 errors were start-up transients)\n";
   return 0;

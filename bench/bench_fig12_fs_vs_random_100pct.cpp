@@ -4,10 +4,11 @@
 // above the average in-degree and loses below it (eqs. 3-4); FS tracks RE.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig12_fs_vs_random_100pct");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -68,6 +69,7 @@ int main() {
   print_curves(std::cout, "in-degree", degrees,
                std::vector<std::string>(names),
                std::vector<std::vector<double>>(curves));
+  session.add_curves(CurveResult{degrees, names, curves, {}});
   std::cout << "\nexpected shape: RandomVertex best below the average "
                "in-degree, worst above it; FS tracks RandomEdge\n";
   return 0;

@@ -5,10 +5,11 @@
 // more robust to low hit ratios.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig13_fs_vs_random_low_hit");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_livejournal(cfg);
   const Graph& g = ds.graph;
 
@@ -81,6 +82,7 @@ int main() {
   print_curves(std::cout, "in-degree", degrees,
                std::vector<std::string>(names),
                std::vector<std::vector<double>>(curves));
+  session.add_curves(CurveResult{degrees, names, curves, {}});
   std::cout << "\nexpected shape: FS below RandomEdge everywhere and below "
                "RandomVertex for all but the smallest in-degrees\n";
   return 0;

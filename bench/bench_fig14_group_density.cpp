@@ -4,10 +4,11 @@
 // the whole popularity range.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_fig14_group_density");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -74,9 +75,12 @@ int main() {
 
   std::cout << "\nmean NMSE over all " << top << " groups:\n";
   for (std::size_t i = 0; i < names.size(); ++i) {
-    std::cout << "  " << names[i] << ": "
-              << format_number(mean_positive(curves[i])) << '\n';
+    const double mean_nmse = mean_positive(curves[i]);
+    std::cout << "  " << names[i] << ": " << format_number(mean_nmse)
+              << '\n';
+    session.metric("mean_nmse/" + names[i], mean_nmse);
   }
+  session.add_curves(CurveResult{ranks, names, curves, {}});
   std::cout << "\nexpected shape: FS clearly below SingleRW and MultipleRW\n";
   return 0;
 }

@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "core/frontier.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -90,6 +90,7 @@ LoadRow measure(const std::string& format, const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  frontier::bench::BenchSession session(argc, argv, "bench_graph_load");
   std::size_t n = 250000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
@@ -152,6 +153,15 @@ int main(int argc, char** argv) {
       rows[2].load_ms / std::max(rows[0].load_ms, 1e-6);
   std::cout << "\nv2 mmap speedup: " << format_number(v1_over_v2)
             << "x vs v1, " << format_number(text_over_v2) << "x vs text\n";
+  for (const LoadRow& r : rows) {
+    session.metric("load_ms/" + r.format, r.load_ms, "ms");
+    session.metric("first_touch_ms/" + r.format, r.touch_ms, "ms");
+  }
+  session.metric("vertices", static_cast<double>(n));
+  session.metric("directed_edges",
+                 static_cast<double>(g.num_directed_edges()));
+  session.metric("mmap_speedup_vs_v1", v1_over_v2, "x");
+  session.metric("mmap_speedup_vs_text", text_over_v2, "x");
   const bool big_enough = g.num_directed_edges() >= 1000000;
   if (big_enough) {
     std::cout << (v1_over_v2 >= 20.0 ? "PASS" : "FAIL")

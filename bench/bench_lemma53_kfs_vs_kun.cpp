@@ -4,10 +4,11 @@
 // grows. Regenerates the theory behind "FS can start from uniform samples".
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_lemma53_kfs_vs_kun");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_gab(cfg);
   const Graph& g = ds.graph;
 
@@ -35,12 +36,15 @@ int main() {
       mean_fs += static_cast<double>(k2) * fs[k2];
       mean_mw += static_cast<double>(k2) * mw[k2];
     }
-    table.add_row({std::to_string(m),
-                   format_number(total_variation(fs, un)),
-                   format_number(total_variation(mw, un)),
+    const double tvd_fs = total_variation(fs, un);
+    const double tvd_mw = total_variation(mw, un);
+    table.add_row({std::to_string(m), format_number(tvd_fs),
+                   format_number(tvd_mw),
                    format_number(mean_fs / static_cast<double>(m), 4),
                    format_number(mean_mw / static_cast<double>(m), 4),
                    format_number(stats.p, 4)});
+    session.metric("tvd_kfs_kun/m=" + std::to_string(m), tvd_fs);
+    session.metric("tvd_kmw_kun/m=" + std::to_string(m), tvd_mw);
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: TVD(K_fs, K_un) -> 0 as m grows "

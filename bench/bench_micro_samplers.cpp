@@ -3,7 +3,10 @@
 // called out in DESIGN.md §5.
 #include <benchmark/benchmark.h>
 
-#include "core/frontier.hpp"
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
 
 namespace {
 
@@ -125,6 +128,48 @@ void BM_GraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuild);
 
+/// Mirrors every completed google-benchmark run into the shared
+/// BenchReport, so bench_micro_samplers speaks the same --json schema as
+/// the figure/table benches despite its different driver.
+class SessionReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SessionReporter(frontier::bench::BenchSession& session)
+      : session_(session) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      session_.metric(run.benchmark_name() + "/real_time",
+                      run.GetAdjustedRealTime(),
+                      benchmark::GetTimeUnitString(run.time_unit));
+    }
+  }
+
+ private:
+  frontier::bench::BenchSession& session_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): the shared --json flag must be stripped
+// before benchmark::Initialize (which rejects flags it does not know).
+int main(int argc, char** argv) {
+  frontier::bench::BenchSession session(argc, argv, "bench_micro_samplers");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      if (i + 1 < argc) ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  SessionReporter reporter(session);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,10 +6,11 @@
 // Metric: CNMSE of the in-degree CCDF on the complete Flickr surrogate.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_related_baselines");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
 
@@ -53,38 +54,42 @@ int main() {
   };
 
   TextTable table({"method", "geo-mean CNMSE", "notes"});
-  table.add_row({"FS(m=" + std::to_string(m) + ")",
-                 format_number(gm(
-                     [&](Rng& rng) {
-                       return estimate_degree_distribution(
-                           g, fs.run(rng).edges, DegreeKind::kIn);
-                     },
-                     1)),
-                 "uniform edge sampling, eq.7 reweighting"});
-  table.add_row({"MH-RW",
-                 format_number(gm(
-                     [&](Rng& rng) {
-                       return estimate_degree_distribution_uniform(
-                           g, mh.run(rng).vertices, DegreeKind::kIn);
-                     },
-                     2)),
-                 "uniform vertex sampling, plain histogram"});
-  table.add_row({"RWJ(p=0.15, c=1)",
-                 format_number(gm(
-                     [&](Rng& rng) {
-                       return estimate_degree_distribution(
-                           g, rwj_cheap.run(rng).edges, DegreeKind::kIn);
-                     },
-                     3)),
-                 "jumps fix trapping but bias eq.7 slightly"});
-  table.add_row({"RWJ(p=0.15, 10% hit)",
-                 format_number(gm(
-                     [&](Rng& rng) {
-                       return estimate_degree_distribution(
-                           g, rwj_pricey.run(rng).edges, DegreeKind::kIn);
-                     },
-                     4)),
-                 "expensive jumps burn ~60% of the budget"});
+  const auto add_method =
+      [&](const std::string& label,
+          const std::function<std::vector<double>(Rng&)>& est,
+          std::uint64_t salt, const char* notes) {
+        const double err = gm(est, salt);
+        table.add_row({label, format_number(err), notes});
+        session.metric("geo_mean_error/" + label, err);
+      };
+  add_method(
+      "FS(m=" + std::to_string(m) + ")",
+      [&](Rng& rng) {
+        return estimate_degree_distribution(g, fs.run(rng).edges,
+                                            DegreeKind::kIn);
+      },
+      1, "uniform edge sampling, eq.7 reweighting");
+  add_method(
+      "MH-RW",
+      [&](Rng& rng) {
+        return estimate_degree_distribution_uniform(g, mh.run(rng).vertices,
+                                                    DegreeKind::kIn);
+      },
+      2, "uniform vertex sampling, plain histogram");
+  add_method(
+      "RWJ(p=0.15, c=1)",
+      [&](Rng& rng) {
+        return estimate_degree_distribution(g, rwj_cheap.run(rng).edges,
+                                            DegreeKind::kIn);
+      },
+      3, "jumps fix trapping but bias eq.7 slightly");
+  add_method(
+      "RWJ(p=0.15, 10% hit)",
+      [&](Rng& rng) {
+        return estimate_degree_distribution(g, rwj_pricey.run(rng).edges,
+                                            DegreeKind::kIn);
+      },
+      4, "expensive jumps burn ~60% of the budget");
   table.print(std::cout);
   std::cout << "\nexpected shape: FS lowest; MH-RW trails the reweighted "
                "walk (as in the paper's cited experiments); RWJ degrades "

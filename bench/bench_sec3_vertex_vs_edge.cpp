@@ -4,10 +4,11 @@
 // vertex sampling below it — so edge sampling wins on the tail.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_sec3_vertex_vs_edge");
+  const ExperimentConfig& cfg = session.config();
   const Dataset ds = synthetic_flickr(cfg);
   const Graph& g = ds.graph;
   const auto theta = degree_distribution(g, DegreeKind::kOut);
@@ -46,6 +47,21 @@ int main() {
       cfg.threads);
   const auto rv_mc = rv_acc.normalized_rmse();
   const auto re_mc = re_acc.normalized_rmse();
+  {
+    std::vector<double> rv_display;
+    std::vector<double> re_display;
+    for (std::uint32_t deg :
+         log_spaced_degrees(static_cast<std::uint32_t>(theta.size() - 1))) {
+      if (deg >= theta.size() || theta[deg] <= 0.0) continue;
+      rv_display.push_back(rv_mc[deg]);
+      re_display.push_back(re_mc[deg]);
+    }
+    session.metric("geo_mean_nmse/RandomVertex",
+                   geometric_mean_positive(rv_display));
+    session.metric("geo_mean_nmse/RandomEdge",
+                   geometric_mean_positive(re_display));
+    session.metric("avg_out_degree_crossover", d);
+  }
 
   TextTable table({"out-deg", "theta", "RV analytic (eq.4)", "RV Monte-Carlo",
                    "RE analytic (eq.3)", "RE Monte-Carlo", "winner"});

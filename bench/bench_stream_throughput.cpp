@@ -44,12 +44,6 @@ double peak_rss_mib() {
 #endif
 }
 
-int env_exp(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return std::atoi(value);
-}
-
 struct RunResult {
   double seconds = 0.0;
   double estimate = 0.0;  // streamed/batched avg-degree, sanity check
@@ -57,11 +51,12 @@ struct RunResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  const int stream_max_exp = env_exp("FS_STREAM_MAX_EXP", 8);
-  const int batch_max_exp = env_exp("FS_BATCH_MAX_EXP", 7);
+  BenchSession session(argc, argv, "bench_stream_throughput");
+  const ExperimentConfig& cfg = session.config();
+  const int stream_max_exp = checked_env_int("FS_STREAM_MAX_EXP", 8);
+  const int batch_max_exp = checked_env_int("FS_BATCH_MAX_EXP", 7);
 
   Rng graph_rng(cfg.seed);
   const Graph g = barabasi_albert(200000, 3, graph_rng);
@@ -108,10 +103,15 @@ int main() {
                    "avg-degree est"});
   const auto add_row = [&](const char* mode, double budget,
                            const RunResult& r) {
+    const double rate = budget / std::max(r.seconds, 1e-9);
+    const double rss = peak_rss_mib();
     table.add_row({mode, format_number(budget), format_number(r.seconds),
-                   format_number(budget / std::max(r.seconds, 1e-9)),
-                   format_number(peak_rss_mib()),
+                   format_number(rate), format_number(rss),
                    format_number(r.estimate)});
+    const std::string tag =
+        std::string(mode) + "/B=" + format_number(budget);
+    session.metric("edges_per_sec/" + tag, rate, "edges/s");
+    session.metric("peak_rss/" + tag, rss, "MiB");
   };
 
   // Streaming first: it must not inherit the batch path's high-water mark.

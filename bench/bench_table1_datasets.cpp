@@ -1,9 +1,10 @@
 // Table 1: summary of the evaluation datasets (synthetic surrogates).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  frontier::bench::BenchSession session(argc, argv, "bench_table1_datasets");
+  const ExperimentConfig& cfg = session.config();
   print_banner(std::cout,
                "Table 1: summary of the graph datasets (surrogates)");
 
@@ -19,6 +20,12 @@ int main() {
                    std::to_string(s.num_directed_edges),
                    format_number(s.average_degree, 3),
                    format_number(s.wmax, 3)});
+    session.metric("vertices/" + s.name,
+                   static_cast<double>(s.num_vertices));
+    session.metric("lcc_fraction/" + s.name,
+                   static_cast<double>(s.lcc_size) /
+                       static_cast<double>(s.num_vertices));
+    session.metric("avg_degree/" + s.name, s.average_degree);
   }
   table.print(std::cout);
   std::cout << "\nPaper shapes to match: Flickr ~94% LCC with heavy tail;"

@@ -5,10 +5,11 @@
 // shows little FS/MultipleRW difference.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_table2_assortativity");
+  const ExperimentConfig& cfg = session.config();
   // The paper uses 100 runs; with ~40x smaller sample sizes the bias
   // estimate itself is noisy, so the default here is higher.
   const std::size_t runs = cfg.runs(400);
@@ -68,6 +69,12 @@ int main() {
                    format_number(mrw_acc.nmse(), 3),
                    format_percent(srw_acc.relative_bias()),
                    format_number(srw_acc.nmse(), 3)});
+    session.metric("bias/" + ds.name + "/FS", fs_acc.relative_bias());
+    session.metric("bias/" + ds.name + "/MRW", mrw_acc.relative_bias());
+    session.metric("bias/" + ds.name + "/SRW", srw_acc.relative_bias());
+    session.metric("nmse/" + ds.name + "/FS", fs_acc.nmse());
+    session.metric("nmse/" + ds.name + "/MRW", mrw_acc.nmse());
+    session.metric("nmse/" + ds.name + "/SRW", srw_acc.nmse());
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: FS has the smallest |bias| on every row "

@@ -3,10 +3,11 @@
 // Paper shape: all three close to the true C, FS with the smallest NMSE.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_table3_clustering");
+  const ExperimentConfig& cfg = session.config();
   const std::size_t runs = cfg.runs(400);
 
   print_banner(std::cout,
@@ -56,6 +57,9 @@ int main() {
     const auto mrw_acc = eval([&](Rng& rng) { return mrw.run(rng).edges; }, 3);
     table.add_row({ds.name, format_number(c_true, 3), fmt(fs_acc),
                    fmt(srw_acc), fmt(mrw_acc)});
+    session.metric("nmse/" + ds.name + "/FS", fs_acc.nmse());
+    session.metric("nmse/" + ds.name + "/SRW", srw_acc.nmse());
+    session.metric("nmse/" + ds.name + "/MRW", mrw_acc.nmse());
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: all means near C; FS with the smallest "

@@ -5,10 +5,11 @@
 // deviations are 5-42x larger than Frontier sampling's.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace frontier;
   using namespace frontier::bench;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  BenchSession session(argc, argv, "bench_table4_convergence");
+  const ExperimentConfig& cfg = session.config();
   const std::size_t k = 10;
   const std::size_t mc_runs = cfg.runs(400000);
 
@@ -44,6 +45,9 @@ int main() {
     table.add_row({row.ds.name, format_number(row.budget, 3),
                    format_percent(fs), format_percent(mrw),
                    format_percent(srw)});
+    session.metric("deficit/" + row.ds.name + "/FS", fs);
+    session.metric("deficit/" + row.ds.name + "/MRW", mrw);
+    session.metric("deficit/" + row.ds.name + "/SRW", srw);
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: FS far below MRW on every row, and far "

@@ -58,6 +58,7 @@
 #include "estimators/neighbor_degree.hpp"
 
 #include "stats/accumulators.hpp"
+#include "stats/bench_report.hpp"
 #include "stats/error_metrics.hpp"
 #include "stats/analytic.hpp"
 #include "stats/bootstrap.hpp"
@@ -71,5 +72,6 @@
 
 #include "experiments/config.hpp"
 #include "experiments/datasets.hpp"
+#include "experiments/replication_runner.hpp"
 #include "experiments/replicator.hpp"
 #include "experiments/printers.hpp"

@@ -21,6 +21,9 @@ struct ExperimentConfig {
   std::uint64_t seed = 20100907;
 
   /// Reads FS_RUNS / FS_SCALE / FS_THREADS / FS_SEED from the environment.
+  /// Malformed values (unparsable text, trailing garbage, negative
+  /// multipliers or negative integers) throw std::invalid_argument naming
+  /// the variable — they are never silently replaced by defaults.
   [[nodiscard]] static ExperimentConfig from_env();
 
   /// base_runs scaled by runs_multiplier, at least 4.
@@ -30,8 +33,10 @@ struct ExperimentConfig {
   [[nodiscard]] std::size_t scaled(std::size_t base_size) const;
 };
 
-/// Parses a double/integer environment variable; returns fallback when the
-/// variable is unset or unparsable.
+/// Parses a double/integer environment variable. Unset or empty variables
+/// return the fallback; set-but-malformed values (including trailing
+/// garbage, non-finite doubles, and negative integers) throw
+/// std::invalid_argument with the variable name and offending text.
 [[nodiscard]] double env_double(const std::string& name, double fallback);
 [[nodiscard]] std::uint64_t env_u64(const std::string& name,
                                     std::uint64_t fallback);

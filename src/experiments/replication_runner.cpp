@@ -1,0 +1,50 @@
+#include "experiments/replication_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace frontier {
+
+void ReplicationRunner::dispatch_range(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, Rng&)>& per_run) const {
+  if (begin >= end) return;
+  const Rng base(seed_);
+  const std::size_t workers = std::min(workers_, end - begin);
+
+  if (workers <= 1) {
+    for (std::size_t r = begin; r < end; ++r) {
+      Rng rng = base.split_stream(r);
+      per_run(r, rng);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t r = next.fetch_add(1, std::memory_order_relaxed);
+          if (r >= end) break;
+          Rng rng = base.split_stream(r);
+          per_run(r, rng);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace frontier

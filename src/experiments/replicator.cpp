@@ -5,11 +5,7 @@ namespace frontier {
 void parallel_replicate(std::size_t runs, std::uint64_t seed,
                         const std::function<void(std::size_t, Rng&)>& body,
                         std::size_t threads) {
-  struct Nothing {};
-  (void)parallel_accumulate<Nothing>(
-      runs, seed, [] { return Nothing{}; },
-      [&body](std::size_t r, Rng& rng, Nothing&) { body(r, rng); },
-      [](Nothing&, const Nothing&) {}, threads);
+  ReplicationRunner(runs, seed, threads).for_each(body);
 }
 
 }  // namespace frontier

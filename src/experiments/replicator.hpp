@@ -1,16 +1,18 @@
-// Multi-threaded Monte-Carlo replication with deterministic per-run RNG
-// streams: run r always sees the same generator regardless of thread count
-// or scheduling, so every experiment is reproducible bit-for-bit.
+// Legacy replication entry points, kept as thin wrappers over
+// ReplicationRunner (experiments/replication_runner.hpp). New code should
+// use the runner directly; these functions preserve the original free-
+// function signatures for the many existing experiment call sites.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <thread>
+#include <utility>
 #include <vector>
 
 // resolve_threads lives in core/parallel.hpp (shared with the parallel
 // graph-ingestion path) and is re-exported here for existing callers.
 #include "core/parallel.hpp"
+#include "experiments/replication_runner.hpp"
 #include "random/rng.hpp"
 
 namespace frontier {
@@ -21,10 +23,10 @@ void parallel_replicate(std::size_t runs, std::uint64_t seed,
                         const std::function<void(std::size_t, Rng&)>& body,
                         std::size_t threads = 0);
 
-/// Accumulator-merging variant: each worker owns an Acc created by
-/// `make_acc`, fills it run by run, and the per-worker accumulators are
-/// merged left-to-right (worker order) into the returned value. Acc must be
-/// movable; merge(dst, src) folds src into dst.
+/// Accumulator-merging variant: each *run* owns an Acc created by
+/// `make_acc`, fills it, and the per-run accumulators are merged in run
+/// order — so the result, roundoff included, is independent of the thread
+/// count. Acc must be movable; merge(dst, src) folds src into dst.
 template <typename Acc>
 [[nodiscard]] Acc parallel_accumulate(
     std::size_t runs, std::uint64_t seed,
@@ -32,29 +34,15 @@ template <typename Acc>
     const std::function<void(std::size_t, Rng&, Acc&)>& body,
     const std::function<void(Acc&, const Acc&)>& merge,
     std::size_t threads = 0) {
-  const std::size_t workers = resolve_threads(threads);
-  std::vector<Acc> accs;
-  accs.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) accs.push_back(make_acc());
-
-  const Rng base(seed);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      // Static striping keeps run->thread assignment deterministic; the
-      // per-run RNG stream makes results independent of the assignment.
-      for (std::size_t r = w; r < runs; r += workers) {
-        Rng rng = base.split_stream(r);
-        body(r, rng, accs[w]);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-
-  Acc result = std::move(accs.front());
-  for (std::size_t w = 1; w < workers; ++w) merge(result, accs[w]);
-  return result;
+  const ReplicationRunner runner(runs, seed, threads);
+  return runner.map_reduce(
+      make_acc(),
+      [&](std::size_t r, Rng& rng) {
+        Acc acc = make_acc();
+        body(r, rng, acc);
+        return acc;
+      },
+      [&](Acc& dst, Acc&& src) { merge(dst, src); });
 }
 
 }  // namespace frontier

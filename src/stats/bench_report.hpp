@@ -1,0 +1,87 @@
+// Machine-readable benchmark reports (schema version 1).
+//
+// Every bench binary can emit one JSON document describing what it ran
+// (name, library version, the FS_* experiment configuration and a
+// fingerprint of it) and what it measured (named numeric metrics with
+// units, plus total wall time). CI's perf-smoke job collects these as
+// workflow artifacts, validates them with `frontier_cli bench-report`, and
+// diffs them across runs — the perf trajectory of the project is the
+// history of these files, not of free-form stdout.
+//
+// The format is deliberately tiny: a flat object, numeric metric values
+// (non-finite values serialize as JSON null), and a stable key order so
+// two reports diff cleanly. parse_json() accepts exactly what to_json()
+// emits — unknown keys, missing keys, wrong types, or a fingerprint that
+// does not match the embedded config are all schema errors, so a report
+// that parses is a report CI can trust.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "experiments/config.hpp"
+
+namespace frontier {
+
+/// Schema violation or malformed JSON; .what() names the offending key.
+class BenchReportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a 64-bit hashing, shared by the config fingerprint below and the
+/// bench harness's result fingerprints so the two schemes cannot drift.
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+[[nodiscard]] std::uint64_t fnv1a_bytes(std::uint64_t hash, const void* data,
+                                        std::size_t len) noexcept;
+[[nodiscard]] std::uint64_t fnv1a_u64(std::uint64_t hash,
+                                      std::uint64_t value) noexcept;
+
+/// One measured quantity. `unit` is free-form ("ms", "edges/s", "x", "" for
+/// dimensionless values like fingerprints and counts).
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+
+  friend bool operator==(const BenchMetric&, const BenchMetric&) = default;
+};
+
+struct BenchReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string name;             ///< bench binary name, e.g. "bench_fig04_..."
+  std::string library_version;  ///< library_version_string() at emit time
+  ExperimentConfig config;      ///< FS_RUNS/FS_SCALE/FS_THREADS/FS_SEED
+  double wall_time_seconds = 0.0;
+  std::vector<BenchMetric> metrics;
+
+  /// A report for `name` under `cfg`, stamped with the library version.
+  [[nodiscard]] static BenchReport make(std::string name,
+                                        const ExperimentConfig& cfg);
+
+  void add_metric(std::string metric_name, double value,
+                  std::string unit = "");
+
+  /// FNV-1a over (schema, name, runs/scale multipliers, seed) — threads
+  /// excluded, because the replication engine is bit-identical across
+  /// thread counts: two reports with equal fingerprints measured the same
+  /// experiment, so their metrics are comparable points on a trajectory
+  /// (and their wall times a valid speedup comparison).
+  [[nodiscard]] std::uint64_t config_fingerprint() const noexcept;
+
+  /// Pretty-printed JSON document (trailing newline included).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Inverse of to_json(); throws BenchReportError on any deviation.
+  [[nodiscard]] static BenchReport parse_json(std::string_view text);
+
+  /// File variants; throw BenchReportError on I/O failure too.
+  void write_file(const std::string& path) const;
+  [[nodiscard]] static BenchReport read_file(const std::string& path);
+};
+
+}  // namespace frontier

@@ -1,0 +1,152 @@
+// BenchReport: JSON round-trip fidelity (including 64-bit seeds, escaped
+// strings, and non-finite metric values) and strict schema validation —
+// every deviation a CI artifact could exhibit must be rejected with a
+// message naming the offending key.
+#include "stats/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+
+namespace frontier {
+namespace {
+
+BenchReport sample_report() {
+  ExperimentConfig cfg;
+  cfg.runs_multiplier = 0.25;
+  cfg.scale_multiplier = 1.5;
+  cfg.threads = 8;
+  cfg.seed = 0xfeedfacecafef00dULL;  // needs all 64 bits to round-trip
+  BenchReport report = BenchReport::make("bench_unit_test", cfg);
+  report.wall_time_seconds = 12.3456789;
+  report.add_metric("geo_mean_error/FS(m=10)", 0.123456789012345, "");
+  report.add_metric("throughput", 4.2e6, "edges/s");
+  report.add_metric("tiny", 1e-300);
+  report.add_metric("quote\"back\\slash\tnewline\n", 1.0);
+  report.add_metric("micro µs", 2.0, "µs");
+  return report;
+}
+
+TEST(BenchReport, JsonRoundTrip) {
+  const BenchReport original = sample_report();
+  const BenchReport parsed = BenchReport::parse_json(original.to_json());
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.library_version, original.library_version);
+  EXPECT_EQ(parsed.config.runs_multiplier, original.config.runs_multiplier);
+  EXPECT_EQ(parsed.config.scale_multiplier,
+            original.config.scale_multiplier);
+  EXPECT_EQ(parsed.config.threads, original.config.threads);
+  EXPECT_EQ(parsed.config.seed, original.config.seed);
+  EXPECT_EQ(parsed.wall_time_seconds, original.wall_time_seconds);
+  EXPECT_EQ(parsed.metrics, original.metrics);
+  // A second round trip is textually stable.
+  EXPECT_EQ(parsed.to_json(), original.to_json());
+}
+
+TEST(BenchReport, NonFiniteMetricsSerializeAsNull) {
+  BenchReport report = sample_report();
+  report.add_metric("nan_metric", std::nan(""));
+  report.add_metric("inf_metric", std::numeric_limits<double>::infinity());
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"name\": \"nan_metric\", \"value\": null"),
+            std::string::npos);
+  const BenchReport parsed = BenchReport::parse_json(json);
+  EXPECT_TRUE(std::isnan(parsed.metrics[parsed.metrics.size() - 2].value));
+  EXPECT_TRUE(std::isnan(parsed.metrics.back().value));
+}
+
+TEST(BenchReport, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "frontier_report_test.json")
+          .string();
+  const BenchReport original = sample_report();
+  original.write_file(path);
+  const BenchReport parsed = BenchReport::read_file(path);
+  EXPECT_EQ(parsed.to_json(), original.to_json());
+  std::filesystem::remove(path);
+}
+
+TEST(BenchReport, ReadMissingFileThrows) {
+  EXPECT_THROW(BenchReport::read_file("/no/such/dir/report.json"),
+               BenchReportError);
+}
+
+TEST(BenchReport, FingerprintIgnoresThreadsOnly) {
+  const BenchReport base = sample_report();
+  BenchReport other = base;
+  other.config.threads = 1;  // execution detail, same experiment
+  EXPECT_EQ(base.config_fingerprint(), other.config_fingerprint());
+
+  other = base;
+  other.config.seed ^= 1;
+  EXPECT_NE(base.config_fingerprint(), other.config_fingerprint());
+  other = base;
+  other.name += "x";
+  EXPECT_NE(base.config_fingerprint(), other.config_fingerprint());
+  other = base;
+  other.config.runs_multiplier *= 2.0;
+  EXPECT_NE(base.config_fingerprint(), other.config_fingerprint());
+}
+
+/// Expects parse_json to throw a BenchReportError mentioning `needle`.
+void expect_schema_error(const std::string& json, const std::string& needle) {
+  try {
+    (void)BenchReport::parse_json(json);
+    FAIL() << "expected BenchReportError containing \"" << needle << "\"";
+  } catch (const BenchReportError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(BenchReport, SchemaViolationsRejected) {
+  const std::string good = sample_report().to_json();
+
+  expect_schema_error("not json at all", "invalid JSON");
+  expect_schema_error(good + "trailing", "invalid JSON");
+  expect_schema_error("[1, 2, 3]", "must be an object");
+  expect_schema_error("{}", "missing key");
+
+  // Tampering with any config field breaks the embedded fingerprint.
+  std::string tampered = good;
+  const auto seed_pos = tampered.find("\"seed\": ");
+  ASSERT_NE(seed_pos, std::string::npos);
+  // Mutate the second digit (the first could push the value past 2^64).
+  char& digit = tampered[seed_pos + 9];
+  digit = digit == '0' ? '1' : '0';
+  expect_schema_error(tampered, "config_fingerprint does not match");
+
+  // Changing threads alone must NOT break it (speedup comparisons).
+  std::string threads_changed = good;
+  const auto tpos = threads_changed.find("\"threads\": 8");
+  ASSERT_NE(tpos, std::string::npos);
+  threads_changed.replace(tpos, 12, "\"threads\": 1");
+  EXPECT_NO_THROW((void)BenchReport::parse_json(threads_changed));
+
+  // Unknown and wrongly typed keys.
+  std::string unknown = good;
+  unknown.replace(unknown.find("\"name\""), 6, "\"nome\"");
+  expect_schema_error(unknown, "unknown key");
+  std::string wrong_type = good;
+  wrong_type.replace(wrong_type.find("12.3456789"), 10, "\"fast\"    ");
+  expect_schema_error(wrong_type, "wall_time_seconds");
+
+  std::string bad_version = good;
+  bad_version.replace(bad_version.find("\"schema_version\": 1"), 19,
+                      "\"schema_version\": 2");
+  expect_schema_error(bad_version, "unsupported schema_version");
+}
+
+TEST(BenchReport, EmptyMetricsAllowed) {
+  ExperimentConfig cfg;
+  const BenchReport report = BenchReport::make("empty", cfg);
+  const BenchReport parsed = BenchReport::parse_json(report.to_json());
+  EXPECT_TRUE(parsed.metrics.empty());
+}
+
+}  // namespace
+}  // namespace frontier

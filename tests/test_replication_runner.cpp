@@ -1,0 +1,142 @@
+// ReplicationRunner: the acceptance property is that every result —
+// including floating-point roundoff — is bit-identical for any thread
+// count, because per-run results are materialized in run-index slots and
+// reduced in run order. Verified here on raw RNG draws, on ordered folds,
+// and end-to-end on FS / MultipleRW / Metropolis-Hastings replications.
+#include "experiments/replication_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/frontier.hpp"
+
+namespace frontier {
+namespace {
+
+TEST(ReplicationRunner, WorkersCappedAtRunCount) {
+  EXPECT_EQ(ReplicationRunner(2, 1, 8).workers(), 2u);
+  EXPECT_EQ(ReplicationRunner(100, 1, 3).workers(), 3u);
+  EXPECT_GE(ReplicationRunner(100, 1, 0).workers(), 1u);
+  // Zero runs still resolves a worker count (nothing is spawned).
+  EXPECT_EQ(ReplicationRunner(0, 1, 8).workers(), 1u);
+}
+
+TEST(ReplicationRunner, MapReturnsRunOrderResults) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const ReplicationRunner runner(37, 99, threads);
+    const std::vector<double> draws =
+        runner.map([](std::size_t, Rng& rng) { return uniform01(rng); });
+    ASSERT_EQ(draws.size(), 37u);
+    // Same per-run substream derivation as a 1-thread runner.
+    const Rng base(99);
+    for (std::size_t r = 0; r < draws.size(); ++r) {
+      Rng expected = base.split_stream(r);
+      EXPECT_EQ(draws[r], uniform01(expected)) << "run " << r;
+    }
+  }
+}
+
+TEST(ReplicationRunner, MapReduceBitIdenticalAcrossThreadCounts) {
+  // Non-associative floating-point fold: only an order-preserving
+  // reduction gives the same bits for every thread count.
+  const auto fold_with = [](std::size_t threads) {
+    const ReplicationRunner runner(200, 7, threads);
+    return runner.map_reduce(
+        0.0,
+        [](std::size_t, Rng& rng) { return uniform01(rng) * 1e-3 + 1.0; },
+        [](double& acc, double&& x) { acc += x * acc * 1e-6 + x; });
+  };
+  const double t1 = fold_with(1);
+  EXPECT_EQ(t1, fold_with(2));
+  EXPECT_EQ(t1, fold_with(8));
+}
+
+TEST(ReplicationRunner, ZeroRunsReturnsInit) {
+  const ReplicationRunner runner(0, 1, 4);
+  EXPECT_EQ(runner.map([](std::size_t, Rng&) { return 1; }).size(), 0u);
+  EXPECT_EQ(runner.map_reduce(42, [](std::size_t, Rng&) { return 1; },
+                              [](int& acc, int&& x) { acc += x; }),
+            42);
+}
+
+TEST(ReplicationRunner, ExceptionsPropagate) {
+  for (const std::size_t threads : {1u, 4u}) {
+    const ReplicationRunner runner(64, 3, threads);
+    EXPECT_THROW(runner.for_each([](std::size_t r, Rng&) {
+                   if (r == 13) throw std::runtime_error("boom");
+                 }),
+                 std::runtime_error);
+  }
+}
+
+/// Replicated sampler edges for a given thread count.
+template <typename Sampler>
+std::vector<std::vector<Edge>> replicate_edges(const Sampler& sampler,
+                                               std::size_t threads) {
+  const ReplicationRunner runner(12, 20100907, threads);
+  return runner.map(
+      [&](std::size_t, Rng& rng) { return sampler.run(rng).edges; });
+}
+
+template <typename Sampler>
+void expect_bit_identical(const Sampler& sampler) {
+  const auto t1 = replicate_edges(sampler, 1);
+  const auto t2 = replicate_edges(sampler, 2);
+  const auto t8 = replicate_edges(sampler, 8);
+  ASSERT_EQ(t1.size(), 12u);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(ReplicationRunner, FrontierSamplingBitIdentical) {
+  Rng graph_rng(5);
+  const Graph g = barabasi_albert(400, 3, graph_rng);
+  const FrontierSampler fs(g, {.dimension = 16, .steps = 500});
+  expect_bit_identical(fs);
+}
+
+TEST(ReplicationRunner, MultipleRwBitIdentical) {
+  Rng graph_rng(6);
+  const Graph g = barabasi_albert(400, 3, graph_rng);
+  const MultipleRandomWalks mrw(g, {.num_walkers = 16,
+                                    .steps_per_walker = 40});
+  expect_bit_identical(mrw);
+}
+
+TEST(ReplicationRunner, MetropolisHastingsBitIdentical) {
+  Rng graph_rng(7);
+  const Graph g = barabasi_albert(400, 3, graph_rng);
+  const MetropolisHastingsWalk mh(g, {.steps = 600});
+  expect_bit_identical(mh);
+}
+
+TEST(ReplicationRunner, ParallelAccumulateBitIdenticalAcrossThreadCounts) {
+  // The legacy wrapper inherits the run-order fold: MseAccumulator curves
+  // come out bitwise equal for any thread count.
+  Rng graph_rng(8);
+  const Graph g = barabasi_albert(300, 3, graph_rng);
+  const FrontierSampler fs(g, {.dimension = 8, .steps = 300});
+  const auto truth = degree_distribution(g, DegreeKind::kSymmetric);
+  const auto run_with = [&](std::size_t threads) {
+    return parallel_accumulate<MseAccumulator>(
+        10, 42, [&] { return MseAccumulator(truth); },
+        [&](std::size_t, Rng& rng, MseAccumulator& acc) {
+          acc.add_run(estimate_degree_distribution(g, fs.run(rng).edges,
+                                                   DegreeKind::kSymmetric));
+        },
+        [](MseAccumulator& dst, const MseAccumulator& src) {
+          dst.merge(src);
+        },
+        threads);
+  };
+  const auto c1 = run_with(1).normalized_rmse();
+  const auto c2 = run_with(2).normalized_rmse();
+  const auto c8 = run_with(8).normalized_rmse();
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1, c8);
+}
+
+}  // namespace
+}  // namespace frontier

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "experiments/config.hpp"
@@ -71,6 +73,70 @@ TEST(ExperimentConfig, EnvDefaults) {
   // No env vars set in the test environment for these names.
   EXPECT_DOUBLE_EQ(env_double("FS_SURELY_UNSET_VAR", 2.5), 2.5);
   EXPECT_EQ(env_u64("FS_SURELY_UNSET_VAR", 77), 77u);
+}
+
+/// Sets an environment variable for the duration of one scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ExperimentConfig, MalformedEnvValuesThrow) {
+  {
+    ScopedEnv env("FS_RUNS", "banana");
+    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW(env_double("FS_RUNS", 1.0), std::invalid_argument);
+  }
+  {
+    // Trailing garbage must not be silently truncated.
+    ScopedEnv env("FS_SCALE", "1.5x");
+    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv env("FS_RUNS", "inf");
+    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+  }
+  {
+    // strtod would read "0x2" as a C99 hex float (2.0); reject instead.
+    ScopedEnv env("FS_SCALE", "0x2");
+    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+  }
+  {
+    // Negative multipliers are rejected, not clamped.
+    ScopedEnv env("FS_RUNS", "-1");
+    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+  }
+  {
+    // strtoull would wrap a negative value into a huge thread count.
+    ScopedEnv env("FS_THREADS", "-3");
+    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv env("FS_SEED", "0x12");
+    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv env("FS_SEED", "99999999999999999999999999");  // > 2^64
+    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+  }
+}
+
+TEST(ExperimentConfig, WellFormedEnvValuesParse) {
+  ScopedEnv runs("FS_RUNS", "0.25");
+  ScopedEnv scale("FS_SCALE", " 2.5 ");  // surrounding whitespace is fine
+  ScopedEnv threads("FS_THREADS", "6");
+  ScopedEnv seed("FS_SEED", "18446744073709551615");  // 2^64 - 1
+  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  EXPECT_DOUBLE_EQ(cfg.runs_multiplier, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.scale_multiplier, 2.5);
+  EXPECT_EQ(cfg.threads, 6u);
+  EXPECT_EQ(cfg.seed, 18446744073709551615ULL);
 }
 
 TEST(ExperimentConfig, RunsAndScaledClamp) {

@@ -62,6 +62,13 @@ TEST(Umbrella, ExperimentsModuleIsExposed) {
   EXPECT_EQ(config.seed, 20100907u);
   TextTable table({"k", "v"});
   table.add_row({"a", "b"});
+  const ReplicationRunner runner(4, 1, 2);
+  EXPECT_EQ(runner.runs(), 4u);
+}
+
+TEST(Umbrella, BenchReportIsExposed) {
+  const BenchReport report = BenchReport::make("umbrella", {});
+  EXPECT_EQ(BenchReport::parse_json(report.to_json()).name, "umbrella");
 }
 
 }  // namespace

@@ -28,7 +28,9 @@ echo "== build (all targets, -j${JOBS})"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "== ctest"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+# --timeout 120 is the default for tests without an explicit TIMEOUT
+# property (the CLI cases): a hung walker fails in minutes, not hours.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" --timeout 120
 
 echo "== warning-clean library build (-Wall -Wextra -Werror)"
 STRICT_DIR="${BUILD_DIR}-strict"
@@ -45,7 +47,7 @@ if [ "$SANITIZE" -eq 1 ]; then
   echo "== sanitize build + tests (ASan + UBSan)"
   cmake --preset sanitize >/dev/null
   cmake --build --preset sanitize -j "$JOBS"
-  ctest --preset sanitize -j "$JOBS"
+  ctest --preset sanitize -j "$JOBS" --timeout 120
 fi
 
 echo "== OK"

@@ -17,6 +17,11 @@
 //   frontier_cli spectral <edges.txt>
 //       Spectral gap / relaxation time of the RW kernel (graphs up to a few
 //       thousand vertices).
+//   frontier_cli bench-report <report.json>...
+//       Validate machine-readable bench reports (stats/bench_report.hpp,
+//       schema v1) and print a one-line summary per file. Any schema
+//       violation exits nonzero naming the offending file and key — CI's
+//       perf-smoke job gates on this.
 //   frontier_cli stream <edges.txt> [--method fs|srw|mrw|mh|rwj]
 //                [--budget N] [--dimension M] [--seed S]
 //                [--checkpoint out.ckpt] [--resume in.ckpt]
@@ -30,6 +35,7 @@
 //   (O(1) load time); loading fails instead of silently rebuilding.
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -437,9 +443,39 @@ int cmd_spectral(const Args& args) {
   return 0;
 }
 
+int cmd_bench_report(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: frontier_cli bench-report <report.json>...\n";
+    return 2;
+  }
+  TextTable table({"file", "bench", "version", "wall s", "metrics",
+                   "fingerprint"});
+  for (const std::string& path : args.positional) {
+    BenchReport report;
+    try {
+      report = BenchReport::read_file(path);
+    } catch (const BenchReportError& e) {
+      std::cerr << path << ": " << e.what() << "\n";
+      return 1;
+    }
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "0x%016llx",
+                  static_cast<unsigned long long>(
+                      report.config_fingerprint()));
+    table.add_row({path, report.name, report.library_version,
+                   format_number(report.wall_time_seconds),
+                   std::to_string(report.metrics.size()), fp});
+  }
+  table.print(std::cout);
+  std::cout << args.positional.size() << " valid bench report"
+            << (args.positional.size() == 1 ? "" : "s") << "\n";
+  return 0;
+}
+
 void usage() {
   std::cerr << "frontier_cli "
-               "<summarize|sample|stream|generate|convert|spectral> "
+               "<summarize|sample|stream|generate|convert|spectral|"
+               "bench-report> "
                "[args]\n(see the header comment of tools/frontier_cli.cpp "
                "or README.md)\n";
 }
@@ -460,6 +496,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "spectral") return cmd_spectral(args);
+    if (cmd == "bench-report") return cmd_bench_report(args);
   } catch (const IoError& e) {
     // Missing/corrupt input files and broken checkpoints: report and exit
     // nonzero instead of aborting with an uncaught exception.
