@@ -48,6 +48,10 @@ BenchSession::BenchSession(int argc, char** argv, std::string name)
   }
   try {
     config_ = ExperimentConfig::from_env();
+    // FS_BLOCK is read lazily at the first block construction, deep in
+    // the run; force the parse here so a malformed value fails the
+    // session up front like every other FS_* knob.
+    (void)default_block_capacity();
   } catch (const std::exception& e) {
     std::cerr << "bad environment: " << e.what() << '\n';
     std::exit(2);
@@ -104,8 +108,8 @@ CurveResult degree_error_curves(const Graph& g,
     // depend on how the runs were scheduled across workers.
     MseAccumulator acc = runner.map_reduce(
         MseAccumulator(truth),
-        [&](std::size_t, Rng& rng) {
-          const auto edges = method.run(rng);
+        [&](std::size_t, Rng& rng, SampleArena& arena) {
+          const auto edges = method.run(rng, arena);
           const auto est = estimate_degree_distribution(g, edges, kind);
           return use_ccdf ? ccdf_from_pdf(est) : est;
         },

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <functional>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,11 +26,25 @@
 
 namespace frontier::bench {
 
-/// A sampling method under comparison: name + one-run edge producer.
+/// A sampling method under comparison: name + one-run edge producer. The
+/// producer drains into the worker's reusable SampleArena (via the
+/// samplers' run_into) and returns a view of the sampled edges; the view
+/// is consumed before the arena's next run, so replications allocate
+/// nothing after each worker's first.
 struct EdgeMethod {
   std::string name;
-  std::function<std::vector<Edge>(Rng&)> run;
+  std::function<std::span<const Edge>(Rng&, SampleArena&)> run;
 };
+
+/// Wraps any sampler with a `run_into(arena, rng)` method into an
+/// EdgeMethod producer. The sampler is captured by reference and must
+/// outlive the method (benches keep samplers on the stack of main).
+template <typename Sampler>
+[[nodiscard]] EdgeMethod edge_method(std::string name, const Sampler& s) {
+  return {std::move(name), [&s](Rng& rng, SampleArena& arena) {
+            return std::span<const Edge>(s.run_into(arena, rng).edges);
+          }};
+}
 
 /// Result of a CNMSE/NMSE curve experiment for several methods.
 struct CurveResult {

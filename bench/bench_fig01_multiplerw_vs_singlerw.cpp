@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
           .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)});
 
   const std::vector<EdgeMethod> methods{
-      {"SingleRW", [&](Rng& rng) { return srw.run(rng).edges; }},
-      {"MultipleRW(m=10)", [&](Rng& rng) { return mrw.run(rng).edges; }},
+      edge_method("SingleRW", srw),
+      edge_method("MultipleRW(m=10)", mrw),
   };
   const CurveResult result =
       degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg);

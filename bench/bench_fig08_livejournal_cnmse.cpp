@@ -28,11 +28,9 @@ int main(int argc, char** argv) {
           .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)});
 
   const std::vector<EdgeMethod> methods{
-      {"FS(m=" + std::to_string(m) + ")",
-       [&](Rng& rng) { return fs.run(rng).edges; }},
-      {"SingleRW", [&](Rng& rng) { return srw.run(rng).edges; }},
-      {"MultipleRW(m=" + std::to_string(m) + ")",
-       [&](Rng& rng) { return mrw.run(rng).edges; }},
+      edge_method("FS(m=" + std::to_string(m) + ")", fs),
+      edge_method("SingleRW", srw),
+      edge_method("MultipleRW(m=" + std::to_string(m) + ")", mrw),
   };
   const CurveResult result =
       degree_error_curves(g, methods, DegreeKind::kOut, true, runs, cfg);

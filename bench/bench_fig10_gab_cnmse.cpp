@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
           .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)});
 
   const std::vector<EdgeMethod> methods{
-      {"FS(m=100)", [&](Rng& rng) { return fs.run(rng).edges; }},
-      {"SingleRW", [&](Rng& rng) { return srw.run(rng).edges; }},
-      {"MultipleRW(m=100)", [&](Rng& rng) { return mrw.run(rng).edges; }},
+      edge_method("FS(m=100)", fs),
+      edge_method("SingleRW", srw),
+      edge_method("MultipleRW(m=100)", mrw),
   };
   const CurveResult result = degree_error_curves(
       g, methods, DegreeKind::kSymmetric, true, runs, cfg);

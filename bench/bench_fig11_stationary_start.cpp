@@ -34,10 +34,9 @@ int main(int argc, char** argv) {
           .start = StartMode::kDegreeProportional});
 
   const std::vector<EdgeMethod> methods{
-      {"FS(m=" + std::to_string(m) + ",uniform)",
-       [&](Rng& rng) { return fs.run(rng).edges; }},
-      {"SingleRW(steady)", [&](Rng& rng) { return srw_ss.run(rng).edges; }},
-      {"MultipleRW(steady)", [&](Rng& rng) { return mrw_ss.run(rng).edges; }},
+      edge_method("FS(m=" + std::to_string(m) + ",uniform)", fs),
+      edge_method("SingleRW(steady)", srw_ss),
+      edge_method("MultipleRW(steady)", mrw_ss),
   };
   const CurveResult result =
       degree_error_curves(g, methods, DegreeKind::kIn, true, runs, cfg);

@@ -25,8 +25,9 @@ void BM_SingleRandomWalk(benchmark::State& state) {
   const auto steps = static_cast<std::uint64_t>(state.range(0));
   const SingleRandomWalk walker(g, {.steps = steps});
   Rng rng(1);
+  SampleArena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(walker.run(rng));
+    benchmark::DoNotOptimize(walker.run_into(arena, rng));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(steps));
@@ -38,13 +39,30 @@ void BM_MetropolisHastings(benchmark::State& state) {
   const auto steps = static_cast<std::uint64_t>(state.range(0));
   const MetropolisHastingsWalk walker(g, {.steps = steps});
   Rng rng(2);
+  SampleArena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(walker.run(rng));
+    benchmark::DoNotOptimize(walker.run_into(arena, rng));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_MetropolisHastings)->Arg(10000);
+
+void BM_MultipleRw(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t steps = 10000;
+  const MultipleRandomWalks mrw(
+      g, {.num_walkers = m, .steps_per_walker = steps / m});
+  Rng rng(9);
+  SampleArena arena;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrw.run_into(arena, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_MultipleRw)->Arg(10)->Arg(100);
 
 void BM_FrontierTree(benchmark::State& state) {
   const Graph& g = bench_graph();
@@ -54,8 +72,9 @@ void BM_FrontierTree(benchmark::State& state) {
       g, {.dimension = m, .steps = steps,
           .selection = FrontierSampler::Selection::kWeightedTree});
   Rng rng(3);
+  SampleArena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fs.run(rng));
+    benchmark::DoNotOptimize(fs.run_into(arena, rng));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(steps));
@@ -70,8 +89,9 @@ void BM_FrontierLinearScan(benchmark::State& state) {
       g, {.dimension = m, .steps = steps,
           .selection = FrontierSampler::Selection::kLinearScan});
   Rng rng(4);
+  SampleArena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fs.run(rng));
+    benchmark::DoNotOptimize(fs.run_into(arena, rng));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(steps));
@@ -119,6 +139,19 @@ void BM_DegreeDistributionEstimator(benchmark::State& state) {
 }
 BENCHMARK(BM_DegreeDistributionEstimator);
 
+void BM_JointDegreeAbsorb(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const SingleRandomWalk walker(g, {.steps = 100000});
+  Rng rng(10);
+  const SampleRecord rec = walker.run(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_joint_degree(g, rec.edges));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rec.edges.size()));
+}
+BENCHMARK(BM_JointDegreeAbsorb);
+
 void BM_GraphBuild(benchmark::State& state) {
   Rng rng(8);
   for (auto _ : state) {
@@ -142,6 +175,14 @@ class SessionReporter : public benchmark::ConsoleReporter {
       session_.metric(run.benchmark_name() + "/real_time",
                       run.GetAdjustedRealTime(),
                       benchmark::GetTimeUnitString(run.time_unit));
+      // Walker benches SetItemsProcessed(steps), so this is steps/s —
+      // the number the perf-smoke job prints and the BENCH trajectory
+      // tracks.
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        session_.metric(run.benchmark_name() + "/items_per_second",
+                        it->second, "items/s");
+      }
     }
   }
 

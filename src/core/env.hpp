@@ -1,0 +1,19 @@
+// Strict environment-variable parsing, shared by every module that reads
+// a knob (FS_* experiment scaling in experiments/config.*, FS_BLOCK in
+// stream/block.*). Unset or empty variables mean "use the fallback";
+// set-but-malformed values (unparsable text, trailing garbage, C99 hex
+// floats, non-finite doubles, negative integers that strtoull would
+// silently wrap) throw std::invalid_argument naming the variable — they
+// are never silently replaced by defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace frontier {
+
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+[[nodiscard]] std::uint64_t env_u64(const std::string& name,
+                                    std::uint64_t fallback);
+
+}  // namespace frontier

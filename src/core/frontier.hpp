@@ -43,6 +43,7 @@
 #include "sampling/parallel_fs.hpp"
 #include "sampling/coverage.hpp"
 
+#include "stream/block.hpp"
 #include "stream/cursor.hpp"
 #include "stream/sampler_cursors.hpp"
 #include "stream/sinks.hpp"

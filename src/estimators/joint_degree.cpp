@@ -1,28 +1,95 @@
 #include "estimators/joint_degree.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace frontier {
 
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mix of the packed key into a
+/// table slot. Degree pairs are tightly clustered in the low bits, so an
+/// identity hash would pile them into a few probe chains.
+[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+}  // namespace
+
+void JointDegreeEstimate::grow() {
+  const std::size_t cap = keys_.empty() ? kInitialCapacity : keys_.size() * 2;
+  std::vector<std::uint64_t> keys(cap, 0);
+  std::vector<std::uint64_t> counts(cap, 0);
+  const std::size_t mask = cap - 1;
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    if (counts_[s] == 0) continue;
+    std::size_t t = static_cast<std::size_t>(mix(keys_[s])) & mask;
+    while (counts[t] != 0) t = (t + 1) & mask;
+    keys[t] = keys_[s];
+    counts[t] = counts_[s];
+  }
+  keys_ = std::move(keys);
+  counts_ = std::move(counts);
+}
+
 void JointDegreeEstimate::absorb(const Graph& g, const Edge& e) {
   if (!g.has_directed_edge(e.u, e.v)) return;
-  ++cells_[{g.out_degree(e.u), g.in_degree(e.v)}];
+  // Grow at 1/2 load so probe chains stay short on the hot path.
+  if (used_ * 2 >= keys_.size()) grow();
+  const std::uint64_t key = pack(g.out_degree(e.u), g.in_degree(e.v));
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t s = static_cast<std::size_t>(mix(key)) & mask;
+  while (counts_[s] != 0 && keys_[s] != key) s = (s + 1) & mask;
+  if (counts_[s] == 0) {
+    keys_[s] = key;
+    ++used_;
+  }
+  ++counts_[s];
   ++count_;
+  dirty_ = true;
+}
+
+const std::vector<JointDegreeEstimate::Cell>& JointDegreeEstimate::cells()
+    const {
+  if (dirty_) {
+    sorted_.clear();
+    sorted_.reserve(used_);
+    for (std::size_t s = 0; s < keys_.size(); ++s) {
+      if (counts_[s] == 0) continue;
+      const Key key{static_cast<std::uint32_t>(keys_[s] >> 32),
+                    static_cast<std::uint32_t>(keys_[s])};
+      sorted_.emplace_back(key, counts_[s]);
+    }
+    std::sort(sorted_.begin(), sorted_.end(),
+              [](const Cell& a, const Cell& b) { return a.first < b.first; });
+    dirty_ = false;
+  }
+  return sorted_;
 }
 
 double JointDegreeEstimate::probability(std::uint32_t out_i,
                                         std::uint32_t in_j) const {
   if (count_ == 0) return 0.0;
-  const auto it = cells_.find({out_i, in_j});
-  return it == cells_.end()
-             ? 0.0
-             : static_cast<double>(it->second) / static_cast<double>(count_);
+  const std::uint64_t key = pack(out_i, in_j);
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t s = static_cast<std::size_t>(mix(key)) & mask;
+  while (counts_[s] != 0) {
+    if (keys_[s] == key) {
+      return static_cast<double>(counts_[s]) / static_cast<double>(count_);
+    }
+    s = (s + 1) & mask;
+  }
+  return 0.0;
 }
 
 double JointDegreeEstimate::marginal_out(std::uint32_t i) const {
   if (count_ == 0) return 0.0;
   std::uint64_t total = 0;
-  for (const auto& [key, n] : cells_) {
+  for (const auto& [key, n] : cells()) {
     if (key.first == i) total += n;
   }
   return static_cast<double>(total) / static_cast<double>(count_);
@@ -31,7 +98,7 @@ double JointDegreeEstimate::marginal_out(std::uint32_t i) const {
 double JointDegreeEstimate::marginal_in(std::uint32_t j) const {
   if (count_ == 0) return 0.0;
   std::uint64_t total = 0;
-  for (const auto& [key, n] : cells_) {
+  for (const auto& [key, n] : cells()) {
     if (key.second == j) total += n;
   }
   return static_cast<double>(total) / static_cast<double>(count_);
@@ -41,7 +108,9 @@ double JointDegreeEstimate::assortativity() const {
   if (count_ < 2) return 0.0;
   const double n = static_cast<double>(count_);
   double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
-  for (const auto& [key, c] : cells_) {
+  // cells() iterates key-sorted, the same order the std::map-backed
+  // implementation summed in, so the roundoff is unchanged.
+  for (const auto& [key, c] : cells()) {
     const double x = key.first;
     const double y = key.second;
     const double w = static_cast<double>(c);

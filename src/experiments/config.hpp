@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/env.hpp"
+
 namespace frontier {
 
 struct ExperimentConfig {
@@ -33,12 +35,7 @@ struct ExperimentConfig {
   [[nodiscard]] std::size_t scaled(std::size_t base_size) const;
 };
 
-/// Parses a double/integer environment variable. Unset or empty variables
-/// return the fallback; set-but-malformed values (including trailing
-/// garbage, non-finite doubles, and negative integers) throw
-/// std::invalid_argument with the variable name and offending text.
-[[nodiscard]] double env_double(const std::string& name, double fallback);
-[[nodiscard]] std::uint64_t env_u64(const std::string& name,
-                                    std::uint64_t fallback);
+// env_double / env_u64 (the strict knob parsers previously declared here)
+// live in core/env.hpp, re-exported above for the existing call sites.
 
 }  // namespace frontier

@@ -8,15 +8,17 @@ namespace frontier {
 
 void ReplicationRunner::dispatch_range(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, Rng&)>& per_run) const {
+    const std::function<void(std::size_t, Rng&, SampleArena&)>& per_run)
+    const {
   if (begin >= end) return;
   const Rng base(seed_);
   const std::size_t workers = std::min(workers_, end - begin);
 
   if (workers <= 1) {
+    SampleArena arena;  // reused across every run, like a worker's
     for (std::size_t r = begin; r < end; ++r) {
       Rng rng = base.split_stream(r);
-      per_run(r, rng);
+      per_run(r, rng, arena);
     }
     return;
   }
@@ -29,11 +31,14 @@ void ReplicationRunner::dispatch_range(
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
       try {
+        // One arena per worker, constructed on the worker's own thread
+        // (first-touch locality) and reused across all its runs.
+        SampleArena arena;
         while (!failed.load(std::memory_order_relaxed)) {
           const std::size_t r = next.fetch_add(1, std::memory_order_relaxed);
           if (r >= end) break;
           Rng rng = base.split_stream(r);
-          per_run(r, rng);
+          per_run(r, rng, arena);
         }
       } catch (...) {
         errors[w] = std::current_exception();

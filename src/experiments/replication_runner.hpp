@@ -20,6 +20,7 @@
 
 #include "core/parallel.hpp"
 #include "random/rng.hpp"
+#include "sampling/walk.hpp"
 
 namespace frontier {
 
@@ -38,20 +39,31 @@ class ReplicationRunner {
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
 
-  /// Runs body(run_index, rng) for every run; no results are kept.
-  void for_each(const std::function<void(std::size_t, Rng&)>& body) const {
-    dispatch(body);
+  /// Runs the body for every run; no results are kept. Bodies take either
+  /// (run_index, rng) or (run_index, rng, arena) — the arena overload
+  /// hands the body its worker's SampleArena, which is constructed once
+  /// per worker and reused across every run that worker executes, so a
+  /// body that drains samplers through run_into() allocates nothing after
+  /// its first run. The arena carries *scratch*, never results: runs
+  /// scheduled onto the same worker must not communicate through it.
+  template <typename Body>
+  void for_each(const Body& body) const {
+    dispatch([&](std::size_t r, Rng& rng, SampleArena& arena) {
+      invoke_body(body, r, rng, arena);
+    });
   }
 
-  /// Runs body(run_index, rng) -> R for every run and returns the results
-  /// in run order. R must be movable; all runs are materialized at once,
-  /// so per-run results should be O(estimate), not O(budget).
+  /// Runs body(run_index, rng[, arena]) -> R for every run and returns
+  /// the results in run order. R must be movable; all runs are
+  /// materialized at once, so per-run results should be O(estimate), not
+  /// O(budget).
   template <typename Body>
   [[nodiscard]] auto map(const Body& body) const {
-    using R = std::decay_t<std::invoke_result_t<const Body&, std::size_t,
-                                                Rng&>>;
+    using R = body_result_t<Body>;
     std::vector<std::optional<R>> slots(runs_);
-    dispatch([&](std::size_t r, Rng& rng) { slots[r].emplace(body(r, rng)); });
+    dispatch([&](std::size_t r, Rng& rng, SampleArena& arena) {
+      slots[r].emplace(invoke_body(body, r, rng, arena));
+    });
     std::vector<R> results;
     results.reserve(runs_);
     for (auto& slot : slots) results.push_back(std::move(*slot));
@@ -68,15 +80,16 @@ class ReplicationRunner {
   template <typename Acc, typename Body, typename Fold>
   [[nodiscard]] Acc map_reduce(Acc init, const Body& body,
                                const Fold& fold) const {
-    using R = std::decay_t<std::invoke_result_t<const Body&, std::size_t,
-                                                Rng&>>;
+    using R = body_result_t<Body>;
     Acc acc = std::move(init);
     std::vector<std::optional<R>> slots(std::min(runs_, kReduceChunk));
     for (std::size_t base = 0; base < runs_; base += kReduceChunk) {
       const std::size_t count = std::min(kReduceChunk, runs_ - base);
-      dispatch_range(base, base + count, [&](std::size_t r, Rng& rng) {
-        slots[r - base].emplace(body(r, rng));
-      });
+      dispatch_range(base, base + count,
+                     [&](std::size_t r, Rng& rng, SampleArena& arena) {
+                       slots[r - base].emplace(
+                           invoke_body(body, r, rng, arena));
+                     });
       for (std::size_t i = 0; i < count; ++i) {
         fold(acc, std::move(*slots[i]));
         slots[i].reset();
@@ -91,15 +104,36 @@ class ReplicationRunner {
   /// chunk of per-run estimates stays a few MB.
   static constexpr std::size_t kReduceChunk = 256;
 
+  /// Invokes 2-arg (run, rng) and 3-arg (run, rng, arena) bodies alike.
+  template <typename Body>
+  static decltype(auto) invoke_body(const Body& body, std::size_t r,
+                                    Rng& rng, SampleArena& arena) {
+    if constexpr (std::is_invocable_v<const Body&, std::size_t, Rng&,
+                                      SampleArena&>) {
+      return body(r, rng, arena);
+    } else {
+      return body(r, rng);
+    }
+  }
+
+  template <typename Body>
+  using body_result_t = std::decay_t<decltype(invoke_body(
+      std::declval<const Body&>(), std::size_t{}, std::declval<Rng&>(),
+      std::declval<SampleArena&>()))>;
+
   /// Runs [begin, end): workers claim run indices from a shared atomic
-  /// counter and invoke per_run with that run's derived generator. An
-  /// exception thrown by any run is rethrown here (the lowest worker's
-  /// wins) after the pool drains.
+  /// counter and invoke per_run with that run's derived generator and the
+  /// worker's own SampleArena (constructed on the worker's thread, reused
+  /// across its runs). An exception thrown by any run is rethrown here
+  /// (the lowest worker's wins) after the pool drains.
   void dispatch_range(
       std::size_t begin, std::size_t end,
-      const std::function<void(std::size_t, Rng&)>& per_run) const;
+      const std::function<void(std::size_t, Rng&, SampleArena&)>& per_run)
+      const;
 
-  void dispatch(const std::function<void(std::size_t, Rng&)>& per_run) const {
+  void dispatch(
+      const std::function<void(std::size_t, Rng&, SampleArena&)>& per_run)
+      const {
     dispatch_range(0, runs_, per_run);
   }
 

@@ -91,6 +91,26 @@ class Graph {
     return neighbors_[offsets_[v] + k];
   }
 
+  /// Hints the cache to load v's adjacency range. The batched FS cursor
+  /// calls this for the vertex a walker just moved to: that walker will
+  /// not be stepped again for ~m steps, which is exactly the latency
+  /// window a prefetch needs, so when the walker is next selected its
+  /// neighbor list is already cached instead of costing a serial
+  /// main-memory access — the dominant cost of a walk step on large
+  /// graphs. No-op on compilers without the builtin.
+  void prefetch_neighbors(VertexId v) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::uint64_t b = offsets_[v];
+    const std::uint64_t e = offsets_[v + 1];
+    if (b == e) return;
+    const VertexId* p = neighbors_.data();
+    __builtin_prefetch(p + b, 0, 1);
+    __builtin_prefetch(p + e - 1, 0, 1);
+#else
+    (void)v;
+#endif
+  }
+
   /// True iff (u,v) is in the symmetric edge set E. O(log deg(u)).
   [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
 

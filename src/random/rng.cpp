@@ -2,55 +2,12 @@
 
 #include <cmath>
 
-#ifdef _MSC_VER
-#include <intrin.h>
-#endif
-
 namespace frontier {
-namespace {
 
-// 64x64 -> 128-bit multiply, portable across GCC/Clang/MSVC.
-inline void mul64x64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi,
-                     std::uint64_t& lo) noexcept {
-#if defined(__SIZEOF_INT128__)
-  const unsigned __int128 p =
-      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
-  hi = static_cast<std::uint64_t>(p >> 64);
-  lo = static_cast<std::uint64_t>(p);
-#else
-  lo = _umul128(a, b, &hi);
-#endif
-}
-
-}  // namespace
-
-std::uint64_t uniform_index(Rng& rng, std::uint64_t n) noexcept {
-  if (n <= 1) return 0;
-  // Lemire 2019, "Fast Random Integer Generation in an Interval".
-  std::uint64_t hi = 0;
-  std::uint64_t lo = 0;
-  std::uint64_t x = rng();
-  mul64x64(x, n, hi, lo);
-  if (lo < n) {
-    const std::uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
-    while (lo < threshold) {
-      x = rng();
-      mul64x64(x, n, hi, lo);
-    }
-  }
-  return hi;
-}
-
-std::uint64_t uniform_range(Rng& rng, std::uint64_t lo,
-                            std::uint64_t hi) noexcept {
-  return lo + uniform_index(rng, hi - lo + 1);
-}
-
-bool bernoulli(Rng& rng, double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform01(rng) < p;
-}
+// uniform_index / uniform_range / bernoulli are defined inline in rng.hpp:
+// they sit on the innermost walker-step path and must inline into the
+// batched cursor loops. The draws below involve libm calls, so an
+// out-of-line definition costs nothing.
 
 double exponential(Rng& rng, double rate) noexcept {
   // Inverse CDF; 1 - U avoids log(0).

@@ -5,8 +5,13 @@
 
 namespace frontier {
 
-WeightedTree::WeightedTree(std::size_t n)
-    : tree_(n + 1, 0.0), weights_(n, 0.0) {}
+WeightedTree::WeightedTree(std::size_t n) : weights_(n, 0.0) {
+  if (n > 0) {
+    mask_ = 1;
+    while (mask_ < n) mask_ <<= 1;
+  }
+  tree_.assign(mask_ + 1, 0.0);
+}
 
 WeightedTree::WeightedTree(std::span<const double> weights)
     : WeightedTree(weights.size()) {
@@ -26,53 +31,11 @@ WeightedTree::WeightedTree(std::span<const double> weights)
   }
 }
 
-void WeightedTree::set(std::size_t i, double w) {
-  if (i >= weights_.size()) throw std::out_of_range("WeightedTree::set");
-  if (w < 0.0 || !std::isfinite(w)) {
-    throw std::invalid_argument("WeightedTree: weight must be finite, >= 0");
-  }
-  const double delta = w - weights_[i];
-  weights_[i] = w;
-  total_ += delta;
-  for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
-    tree_[j] += delta;
-  }
-}
-
-double WeightedTree::get(std::size_t i) const {
-  if (i >= weights_.size()) throw std::out_of_range("WeightedTree::get");
-  return weights_[i];
-}
-
-std::size_t WeightedTree::find_prefix(double target) const noexcept {
-  // Standard Fenwick binary lifting; clamps to the last slot to absorb
-  // floating-point drift between total_ and the tree sums.
-  std::size_t pos = 0;
-  std::size_t mask = 1;
-  while ((mask << 1) < tree_.size()) mask <<= 1;
-  for (; mask != 0; mask >>= 1) {
-    const std::size_t next = pos + mask;
-    if (next < tree_.size() && tree_[next] <= target) {
-      pos = next;
-      target -= tree_[next];
-    }
-  }
-  return pos < weights_.size() ? pos : weights_.size() - 1;
-}
-
-std::size_t WeightedTree::sample(Rng& rng) const {
-  if (total_ <= 0.0) {
-    throw std::logic_error("WeightedTree::sample: total weight is zero");
-  }
-  std::size_t i = find_prefix(uniform01(rng) * total_);
-  // Guard against landing on a zero-weight slot through rounding: scan to
-  // the nearest positive-weight neighbor (rare; bounded by tree size).
-  if (weights_[i] <= 0.0) {
-    for (std::size_t step = 1; step < weights_.size(); ++step) {
-      if (i >= step && weights_[i - step] > 0.0) return i - step;
-      if (i + step < weights_.size() && weights_[i + step] > 0.0)
-        return i + step;
-    }
+std::size_t WeightedTree::skip_zero_weight(std::size_t i) const noexcept {
+  for (std::size_t step = 1; step < weights_.size(); ++step) {
+    if (i >= step && weights_[i - step] > 0.0) return i - step;
+    if (i + step < weights_.size() && weights_[i + step] > 0.0)
+      return i + step;
   }
   return i;
 }

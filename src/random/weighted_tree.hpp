@@ -7,8 +7,10 @@
 // giving O(log m) per FS step versus O(m) for rebuilding an alias table.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "random/rng.hpp"
@@ -25,29 +27,94 @@ class WeightedTree {
   /// Builds the tree from initial non-negative weights.
   explicit WeightedTree(std::span<const double> weights);
 
-  /// Sets the weight of slot i (>= 0). O(log n).
-  void set(std::size_t i, double w);
+  // set/get/find_prefix/sample are defined inline below: sample-then-set
+  // is the per-step hot pair of FrontierCursor's batched loop, and
+  // keeping them in that loop (instead of calls into another TU) is worth
+  // double-digit ns per FS step.
 
-  /// Current weight of slot i. O(log n).
-  [[nodiscard]] double get(std::size_t i) const;
+  /// Sets the weight of slot i (>= 0). O(log n).
+  void set(std::size_t i, double w) {
+    if (i >= weights_.size()) throw std::out_of_range("WeightedTree::set");
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("WeightedTree: weight must be finite, >= 0");
+    }
+    const double delta = w - weights_[i];
+    weights_[i] = w;
+    total_ += delta;
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Current weight of slot i. O(1).
+  [[nodiscard]] double get(std::size_t i) const {
+    if (i >= weights_.size()) throw std::out_of_range("WeightedTree::get");
+    return weights_[i];
+  }
 
   /// Sum of all weights. O(1).
   [[nodiscard]] double total() const noexcept { return total_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return weights_.size(); }
 
-  /// Draws slot i with probability get(i)/total(). Requires total() > 0;
-  /// throws std::logic_error otherwise. O(log n).
-  [[nodiscard]] std::size_t sample(Rng& rng) const;
-
   /// Largest index such that the prefix sum before it is <= target.
   /// Exposed for testing; `target` must lie in [0, total()).
-  [[nodiscard]] std::size_t find_prefix(double target) const noexcept;
+  [[nodiscard]] std::size_t find_prefix(double target) const noexcept {
+    // Fenwick binary lifting over the power-of-two padded tree; the
+    // padding makes every pos + mask a valid index, so the per-level
+    // bounds check is gone. The weight comparison stays a *branch* on
+    // purpose: FS weights are degree-skewed, so the descent path is
+    // highly predictable and predicted branches let the out-of-order
+    // core run ahead into the walk step, whereas a cmov chain would
+    // serialize log2(m) dependent L1 loads on the critical path (it
+    // measured slower on every frontier size). Clamps to the last slot
+    // to absorb floating-point drift between total_ and the tree sums.
+    if (mask_ == 0) return 0;
+    // Root level first: tree_[mask_] is the sum of every slot, so taking
+    // it means target reached total() through floating-point drift (the
+    // sequential total_ and the Fenwick-order root sum can differ by an
+    // ulp) — clamp to the last slot, exactly what the old per-level
+    // bounds guard degenerated to. Handling it here also keeps the
+    // descent in bounds: once the root is *not* taken, pos + mask stays
+    // <= mask_ - mask on every later level by the lifting invariant.
+    if (tree_[mask_] <= target) return weights_.size() - 1;
+    std::size_t pos = 0;
+    for (std::size_t mask = mask_ >> 1; mask != 0; mask >>= 1) {
+      const std::size_t next = pos + mask;
+      const double t = tree_[next];
+      if (t <= target) {
+        pos = next;
+        target -= t;
+      }
+    }
+    // pos can still land in the zero-weight padding when drift pushes
+    // target past the sum of the real slots; clamp like the root case.
+    return pos < weights_.size() ? pos : weights_.size() - 1;
+  }
+
+  /// Draws slot i with probability get(i)/total(). Requires total() > 0;
+  /// throws std::logic_error otherwise. O(log n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    if (total_ <= 0.0) {
+      throw std::logic_error("WeightedTree::sample: total weight is zero");
+    }
+    const std::size_t i = find_prefix(uniform01(rng) * total_);
+    if (weights_[i] <= 0.0) return skip_zero_weight(i);
+    return i;
+  }
 
  private:
-  std::vector<double> tree_;     // 1-based Fenwick array
-  std::vector<double> weights_;  // mirror of current weights
+  /// Rare path: rounding landed sample() on a zero-weight slot; scan to
+  /// the nearest positive-weight neighbor (bounded by tree size).
+  [[nodiscard]] std::size_t skip_zero_weight(std::size_t i) const noexcept;
+
+  // 1-based Fenwick array, padded to the next power of two slots so the
+  // branch-free find_prefix never indexes out of bounds. Padded slots
+  // carry weight 0 and do not change the sums stored at real nodes.
+  std::vector<double> tree_;
+  std::vector<double> weights_;  // mirror of current weights (unpadded)
   double total_ = 0.0;
+  std::size_t mask_ = 0;  // padded slot count (power of two); descent start
 };
 
 }  // namespace frontier

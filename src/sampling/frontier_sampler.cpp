@@ -1,6 +1,7 @@
 #include "sampling/frontier_sampler.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "stream/cursor.hpp"
 #include "stream/sampler_cursors.hpp"
@@ -19,10 +20,17 @@ FrontierSampler::FrontierSampler(const Graph& g, Config config)
 // streaming results are byte-identical by construction.
 
 SampleRecord FrontierSampler::run(Rng& rng) const {
+  SampleArena arena;
+  run_into(arena, rng);
+  return std::move(arena.record);
+}
+
+const SampleRecord& FrontierSampler::run_into(SampleArena& arena,
+                                              Rng& rng) const {
   FrontierCursor cursor(*graph_, config_, rng, start_sampler_);
-  SampleRecord rec = drain_cursor(cursor, config_.steps);
+  drain_cursor_into(cursor, arena, config_.steps);
   rng = cursor.rng();
-  return rec;
+  return arena.record;
 }
 
 SampleRecord FrontierSampler::run_from(std::span<const VertexId> starts,

@@ -43,6 +43,11 @@ class FrontierSampler {
   /// One independent run of Algorithm 1.
   [[nodiscard]] SampleRecord run(Rng& rng) const;
 
+  /// Like run(), but drains into the caller's reusable arena and returns
+  /// arena.record — the replication hot path, allocation-free once the
+  /// arena has warmed up. Identical output and RNG stream to run().
+  const SampleRecord& run_into(SampleArena& arena, Rng& rng) const;
+
   /// Runs Algorithm 1 from the given initial walker list (|starts| must be
   /// m and every start must have positive degree). Used by experiments that
   /// share starting vertices between FS and MultipleRW (Figures 6 and 9).

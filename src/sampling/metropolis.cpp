@@ -1,6 +1,7 @@
 #include "sampling/metropolis.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "stream/cursor.hpp"
 #include "stream/sampler_cursors.hpp"
@@ -18,10 +19,19 @@ MetropolisHastingsWalk::MetropolisHastingsWalk(const Graph& g, Config config)
 // implementation of the propose/accept step.
 
 SampleRecord MetropolisHastingsWalk::run(Rng& rng) const {
+  SampleArena arena;
+  run_into(arena, rng);
+  return std::move(arena.record);
+}
+
+const SampleRecord& MetropolisHastingsWalk::run_into(SampleArena& arena,
+                                                     Rng& rng) const {
   MetropolisCursor cursor(*graph_, config_, rng, start_sampler_);
-  SampleRecord rec = drain_cursor(cursor, 0, config_.steps + 1);
+  // Every proposal may be accepted, so `steps` bounds the edge count;
+  // reserving it up front avoids geometric regrowth during the drain.
+  drain_cursor_into(cursor, arena, config_.steps, config_.steps + 1);
   rng = cursor.rng();
-  return rec;
+  return arena.record;
 }
 
 }  // namespace frontier

@@ -1,6 +1,7 @@
 #include "sampling/multiple_rw.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "stream/cursor.hpp"
 #include "stream/sampler_cursors.hpp"
@@ -18,11 +19,18 @@ MultipleRandomWalks::MultipleRandomWalks(const Graph& g, Config config)
 // drawn lazily in walker order, reproducing the batch RNG interleaving.
 
 SampleRecord MultipleRandomWalks::run(Rng& rng) const {
+  SampleArena arena;
+  run_into(arena, rng);
+  return std::move(arena.record);
+}
+
+const SampleRecord& MultipleRandomWalks::run_into(SampleArena& arena,
+                                                  Rng& rng) const {
   MultipleRwCursor cursor(*graph_, config_, rng, start_sampler_);
-  SampleRecord rec = drain_cursor(
-      cursor, config_.num_walkers * config_.steps_per_walker);
+  drain_cursor_into(cursor, arena,
+                    config_.num_walkers * config_.steps_per_walker);
   rng = cursor.rng();
-  return rec;
+  return arena.record;
 }
 
 }  // namespace frontier

@@ -25,6 +25,10 @@ class MultipleRandomWalks {
   /// order. Estimators aggregate them exactly as the paper does.
   [[nodiscard]] SampleRecord run(Rng& rng) const;
 
+  /// Like run(), but drains into the caller's reusable arena and returns
+  /// arena.record. Identical output and RNG stream to run().
+  const SampleRecord& run_into(SampleArena& arena, Rng& rng) const;
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:

@@ -1,6 +1,8 @@
 #include "sampling/random_walk_with_jumps.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "stream/cursor.hpp"
 #include "stream/sampler_cursors.hpp"
@@ -23,10 +25,27 @@ RandomWalkWithJumps::RandomWalkWithJumps(const Graph& g, Config config)
 // of the jump/step budget accounting.
 
 SampleRecord RandomWalkWithJumps::run(Rng& rng) const {
+  SampleArena arena;
+  run_into(arena, rng);
+  return std::move(arena.record);
+}
+
+const SampleRecord& RandomWalkWithJumps::run_into(SampleArena& arena,
+                                                  Rng& rng) const {
   RwjCursor cursor(*graph_, config_, rng, start_sampler_);
-  SampleRecord rec = drain_cursor(cursor);
+  // Walk steps cost 1 each, so the budget bounds the edge count; every
+  // step and jump landing records at most one vertex. Reserving the
+  // bounds up front keeps the drain free of geometric regrowth. Clamp
+  // before the float->int cast: negative budgets (legal, empty run) and
+  // astronomical ones would be UB to cast, and a reserve hint has no
+  // business beyond 2^32 entries anyway — the drain grows if truly
+  // needed.
+  const double clamped =
+      std::clamp(config_.budget, 0.0, 4294967296.0);  // 2^32
+  const auto budget_steps = static_cast<std::uint64_t>(clamped);
+  drain_cursor_into(cursor, arena, budget_steps, budget_steps + 1);
   rng = cursor.rng();
-  return rec;
+  return arena.record;
 }
 
 }  // namespace frontier

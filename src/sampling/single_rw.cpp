@@ -1,6 +1,7 @@
 #include "sampling/single_rw.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "stream/cursor.hpp"
 #include "stream/sampler_cursors.hpp"
@@ -24,10 +25,17 @@ SingleRandomWalk::SingleRandomWalk(const Graph& g, Config config)
 // implementation of the walk/burn-in/laziness step.
 
 SampleRecord SingleRandomWalk::run(Rng& rng) const {
+  SampleArena arena;
+  run_into(arena, rng);
+  return std::move(arena.record);
+}
+
+const SampleRecord& SingleRandomWalk::run_into(SampleArena& arena,
+                                               Rng& rng) const {
   SingleRwCursor cursor(*graph_, config_, rng, start_sampler_);
-  SampleRecord rec = drain_cursor(cursor, config_.steps);
+  drain_cursor_into(cursor, arena, config_.steps);
   rng = cursor.rng();
-  return rec;
+  return arena.record;
 }
 
 }  // namespace frontier

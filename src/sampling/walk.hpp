@@ -11,6 +11,7 @@
 #include "graph/graph.hpp"
 #include "random/alias_table.hpp"
 #include "random/rng.hpp"
+#include "stream/block.hpp"
 
 namespace frontier {
 
@@ -22,6 +23,25 @@ struct SampleRecord {
   std::vector<VertexId> vertices;
   std::vector<VertexId> starts;  ///< initial vertex of each walker
   double cost = 0.0;             ///< budget actually consumed
+};
+
+/// Reusable per-run scratch: the sample record a run fills and the event
+/// block the drain refills from the sampler's cursor. One arena per
+/// worker thread (experiments/replication_runner.hpp hands each worker
+/// one) makes the replication hot loop allocation-free after the first
+/// run — reset() keeps vector capacity, and the block's columns are
+/// allocated once at construction.
+struct SampleArena {
+  SampleRecord record;
+  StreamEventBlock block;
+
+  /// Clears the record for the next run, keeping all capacity.
+  void reset() {
+    record.edges.clear();
+    record.vertices.clear();
+    record.starts.clear();
+    record.cost = 0.0;
+  }
 };
 
 /// How walker start vertices are chosen.

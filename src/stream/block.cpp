@@ -1,0 +1,28 @@
+#include "stream/block.hpp"
+
+#include <stdexcept>
+
+#include "core/env.hpp"
+
+namespace frontier {
+
+std::size_t default_block_capacity() {
+  static const std::size_t cap = [] {
+    const std::uint64_t k = env_u64("FS_BLOCK", 4096);
+    return static_cast<std::size_t>(k == 0 ? 1 : k);
+  }();
+  return cap;
+}
+
+StreamEventBlock::StreamEventBlock(std::size_t capacity) : cap_(capacity) {
+  if (cap_ == 0) {
+    throw std::invalid_argument("StreamEventBlock: capacity >= 1");
+  }
+  u_.resize(cap_);
+  v_.resize(cap_);
+  deg_v_.resize(cap_);
+  vertex_.resize(cap_);
+  flags_.resize(cap_);
+}
+
+}  // namespace frontier

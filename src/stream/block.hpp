@@ -1,0 +1,108 @@
+// StreamEventBlock — the structure-of-arrays unit of the batched hot path.
+//
+// One virtual SamplerCursor::next(StreamEvent&) call per sampled edge is
+// the dominant per-step overhead once the walk arithmetic itself is a few
+// nanoseconds. A block amortizes that dispatch: the cursor advances up to
+// capacity() steps in one next_batch() call, writing each step's
+// observation into parallel columns (edge endpoints u/v, the symmetric
+// degree of the edge target, the observed vertex, and a per-row flag
+// byte). Sinks then ingest whole columns (EstimatorSink::ingest_block)
+// and drain_cursor bulk-appends them into a SampleRecord.
+//
+// Blocks are caller-owned and reusable: StreamEngine, drain_cursor and
+// the per-worker replication arenas each keep one block alive across
+// refills, so the steady state of the pipeline allocates nothing. The
+// columns are allocated once at construction and rows are written by
+// index — push_* never reallocates.
+//
+// The degree column carries deg(v) *in the cursor's graph*. Every
+// reweighting sink needs that value anyway (the 1/deg importance weight
+// of eq. 7), and the cursor usually has it at hand (FS updates its
+// Fenwick tree with it), so the block computes it once for all sinks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace frontier {
+
+/// Process-wide default block capacity: the FS_BLOCK environment knob
+/// (strictly parsed, like the FS_* knobs in experiments/config.hpp),
+/// clamped to >= 1; 4096 when unset. Read once per process. The batched
+/// pipeline is bit-identical for every capacity — the knob exists so CI
+/// can prove that (K=1 vs K=4096 result fingerprints must match), not to
+/// tune results.
+[[nodiscard]] std::size_t default_block_capacity();
+
+class StreamEventBlock {
+ public:
+  /// Row flag bits, mirroring StreamEvent::has_edge / has_vertex. A row
+  /// with no bit set is an empty step (burn-in, lazy stay, walker start
+  /// jump): budget was spent but nothing was observed.
+  static constexpr std::uint8_t kHasEdge = 1;
+  static constexpr std::uint8_t kHasVertex = 2;
+
+  explicit StreamEventBlock(std::size_t capacity = default_block_capacity());
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t room() const noexcept { return cap_ - size_; }
+  void clear() noexcept { size_ = 0; }
+
+  // Writer API (cursors). Precondition: size() < capacity(). Rows not
+  // carrying an edge (resp. vertex) leave those columns stale; readers
+  // must gate on flags().
+  void push_empty() noexcept { flags_[size_++] = 0; }
+  void push_edge(VertexId u, VertexId v, std::uint32_t deg_v) noexcept {
+    u_[size_] = u;
+    v_[size_] = v;
+    deg_v_[size_] = deg_v;
+    flags_[size_++] = kHasEdge;
+  }
+  void push_vertex(VertexId x) noexcept {
+    vertex_[size_] = x;
+    flags_[size_++] = kHasVertex;
+  }
+  void push_edge_vertex(VertexId u, VertexId v, std::uint32_t deg_v,
+                        VertexId x) noexcept {
+    u_[size_] = u;
+    v_[size_] = v;
+    deg_v_[size_] = deg_v;
+    vertex_[size_] = x;
+    flags_[size_++] = kHasEdge | kHasVertex;
+  }
+
+  // Reader API (sinks, drain). Spans cover the size() filled rows.
+  [[nodiscard]] std::span<const VertexId> u() const noexcept {
+    return {u_.data(), size_};
+  }
+  [[nodiscard]] std::span<const VertexId> v() const noexcept {
+    return {v_.data(), size_};
+  }
+  /// Symmetric degree of v() in the cursor's graph, valid on edge rows.
+  [[nodiscard]] std::span<const std::uint32_t> deg_v() const noexcept {
+    return {deg_v_.data(), size_};
+  }
+  [[nodiscard]] std::span<const VertexId> vertex() const noexcept {
+    return {vertex_.data(), size_};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> flags() const noexcept {
+    return {flags_.data(), size_};
+  }
+
+ private:
+  std::vector<VertexId> u_;
+  std::vector<VertexId> v_;
+  std::vector<std::uint32_t> deg_v_;
+  std::vector<VertexId> vertex_;
+  std::vector<std::uint8_t> flags_;
+  std::size_t size_ = 0;
+  std::size_t cap_;
+};
+
+}  // namespace frontier

@@ -1,20 +1,65 @@
 #include "stream/cursor.hpp"
 
+#include <algorithm>
+
 namespace frontier {
 
-SampleRecord drain_cursor(SamplerCursor& cursor, std::uint64_t reserve_edges,
-                          std::uint64_t reserve_vertices) {
-  SampleRecord rec;
+std::size_t SamplerCursor::next_batch(StreamEventBlock& block,
+                                      std::size_t max_steps) {
+  block.clear();
+  const std::size_t want = std::min(max_steps, block.capacity());
+  StreamEvent ev;
+  std::size_t taken = 0;
+  while (taken < want && next(ev)) {
+    if (ev.has_edge && ev.has_vertex) {
+      block.push_edge_vertex(ev.edge.u, ev.edge.v,
+                             graph().degree(ev.edge.v), ev.vertex);
+    } else if (ev.has_edge) {
+      block.push_edge(ev.edge.u, ev.edge.v, graph().degree(ev.edge.v));
+    } else if (ev.has_vertex) {
+      block.push_vertex(ev.vertex);
+    } else {
+      block.push_empty();
+    }
+    ++taken;
+  }
+  return taken;
+}
+
+SampleRecord& drain_cursor_into(SamplerCursor& cursor, SampleArena& arena,
+                                std::uint64_t reserve_edges,
+                                std::uint64_t reserve_vertices) {
+  arena.reset();
+  SampleRecord& rec = arena.record;
   rec.edges.reserve(reserve_edges);
   rec.vertices.reserve(reserve_vertices);
-  StreamEvent ev;
-  while (cursor.next(ev)) {
-    if (ev.has_edge) rec.edges.push_back(ev.edge);
-    if (ev.has_vertex) rec.vertices.push_back(ev.vertex);
+  StreamEventBlock& block = arena.block;
+  while (cursor.next_batch(block) > 0) {
+    const std::size_t n = block.size();
+    const std::uint8_t* flags = block.flags().data();
+    const VertexId* u = block.u().data();
+    const VertexId* v = block.v().data();
+    const VertexId* vertex = block.vertex().data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t f = flags[i];
+      if (f & StreamEventBlock::kHasEdge) {
+        rec.edges.push_back(Edge{u[i], v[i]});
+      }
+      if (f & StreamEventBlock::kHasVertex) {
+        rec.vertices.push_back(vertex[i]);
+      }
+    }
   }
   rec.starts = cursor.starts();
   rec.cost = cursor.cost();
   return rec;
+}
+
+SampleRecord drain_cursor(SamplerCursor& cursor, std::uint64_t reserve_edges,
+                          std::uint64_t reserve_vertices) {
+  SampleArena arena;
+  return std::move(
+      drain_cursor_into(cursor, arena, reserve_edges, reserve_vertices));
 }
 
 }  // namespace frontier

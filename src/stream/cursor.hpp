@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <vector>
 
 #include "core/types.hpp"
 #include "random/rng.hpp"
 #include "sampling/walk.hpp"
+#include "stream/block.hpp"
 
 namespace frontier {
 
@@ -63,6 +65,19 @@ class SamplerCursor {
   /// step observed (possibly nothing).
   virtual bool next(StreamEvent& ev) = 0;
 
+  /// Batched stepping fast path: clears `block`, advances up to
+  /// min(max_steps, block.capacity()) budgeted steps, appending one row
+  /// per step, and returns the number of steps taken (0 iff exhausted or
+  /// max_steps == 0). The cursor state, RNG stream, emitted events and
+  /// cost after next_batch are byte-identical to the same number of
+  /// next() calls — batching amortizes dispatch, it never reorders draws
+  /// (tests/test_stream_batch.cpp asserts this for every cursor and
+  /// batch size). The base implementation loops next(); the concrete
+  /// cursors override it with branch-hoisted tight loops.
+  virtual std::size_t next_batch(
+      StreamEventBlock& block,
+      std::size_t max_steps = std::numeric_limits<std::size_t>::max());
+
   /// True once next() has returned (or would return) false.
   [[nodiscard]] virtual bool done() const noexcept = 0;
 
@@ -93,10 +108,15 @@ class SamplerCursor {
   virtual void load_state(std::istream& is) = 0;
 };
 
-/// Runs a cursor to exhaustion and assembles the batch-equivalent
-/// SampleRecord. `reserve_edges`/`reserve_vertices` pre-size the record's
-/// vectors (batch run() wrappers pass their step counts to keep the old
-/// reserve behavior).
+/// Runs a cursor to exhaustion through arena.block and assembles the
+/// batch-equivalent SampleRecord in arena.record (cleared first, capacity
+/// kept). `reserve_edges`/`reserve_vertices` pre-size the record's
+/// vectors up front so the drain never regrows them. Returns arena.record.
+SampleRecord& drain_cursor_into(SamplerCursor& cursor, SampleArena& arena,
+                                std::uint64_t reserve_edges = 0,
+                                std::uint64_t reserve_vertices = 0);
+
+/// Convenience wrapper over drain_cursor_into with a throwaway arena.
 [[nodiscard]] SampleRecord drain_cursor(SamplerCursor& cursor,
                                         std::uint64_t reserve_edges = 0,
                                         std::uint64_t reserve_vertices = 0);

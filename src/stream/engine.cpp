@@ -6,19 +6,24 @@
 namespace frontier {
 
 StreamEngine::StreamEngine(std::unique_ptr<SamplerCursor> cursor,
-                           SinkSet sinks)
-    : cursor_(std::move(cursor)), sinks_(std::move(sinks)) {
+                           SinkSet sinks, std::size_t block_capacity)
+    : cursor_(std::move(cursor)),
+      sinks_(std::move(sinks)),
+      block_(block_capacity) {
   if (!cursor_) {
     throw std::invalid_argument("StreamEngine: cursor required");
   }
 }
 
 std::uint64_t StreamEngine::pump(std::uint64_t max_events) {
-  StreamEvent ev;
   std::uint64_t taken = 0;
-  while (taken < max_events && cursor_->next(ev)) {
-    for (const auto& sink : sinks_) sink->consume(ev);
-    ++taken;
+  while (taken < max_events) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_events - taken, block_.capacity()));
+    const std::size_t got = cursor_->next_batch(block_, want);
+    if (got == 0) break;
+    for (const auto& sink : sinks_) sink->ingest_block(block_);
+    taken += got;
   }
   events_ += taken;
   return taken;

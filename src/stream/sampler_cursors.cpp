@@ -140,6 +140,62 @@ bool FrontierCursor::next(StreamEvent& ev) {
   return true;
 }
 
+std::size_t FrontierCursor::next_batch(StreamEventBlock& block,
+                                       std::size_t max_steps) {
+  block.clear();
+  const std::uint64_t remaining = config_.steps - step_;
+  const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+      std::min(max_steps, block.capacity()), remaining));
+  if (want == 0) return 0;
+  const Graph& g = *graph_;
+  Rng rng = rng_;  // hot state in locals; written back after the loop
+  VertexId* frontier = frontier_.data();
+  if (config_.selection == FrontierSampler::Selection::kWeightedTree) {
+    for (std::size_t k = 0; k < want; ++k) {
+      const std::size_t i = tree_.sample(rng);  // line 4: walker ∝ degree
+      const VertexId u = frontier[i];
+      const auto nbrs = g.neighbors(u);                      // line 5
+      const VertexId v = nbrs[uniform_index(rng, nbrs.size())];
+      const std::uint32_t dv = g.degree(v);
+      // Warm v's adjacency now: this walker is next selected ~m steps
+      // from now, far beyond the prefetch latency, so its step then
+      // hits cache instead of stalling on main memory.
+      g.prefetch_neighbors(v);
+      block.push_edge(u, v, dv);                             // line 6
+      frontier[i] = v;
+      tree_.set(i, static_cast<double>(dv));
+    }
+  } else {
+    const std::size_t m = config_.dimension;
+    double scan_total = scan_total_;
+    for (std::size_t step = 0; step < want; ++step) {
+      const double target = uniform01(rng) * scan_total;
+      double acc = 0.0;
+      std::size_t i = m - 1;
+      for (std::size_t k = 0; k < m; ++k) {
+        acc += static_cast<double>(g.degree(frontier[k]));
+        if (target < acc) {
+          i = k;
+          break;
+        }
+      }
+      const VertexId u = frontier[i];
+      const auto nbrs = g.neighbors(u);
+      const VertexId v = nbrs[uniform_index(rng, nbrs.size())];
+      const std::uint32_t dv = g.degree(v);
+      g.prefetch_neighbors(v);
+      block.push_edge(u, v, dv);
+      scan_total +=
+          static_cast<double>(dv) - static_cast<double>(g.degree(u));
+      frontier[i] = v;
+    }
+    scan_total_ = scan_total;
+  }
+  step_ += want;
+  rng_ = rng;
+  return want;
+}
+
 double FrontierCursor::cost() const noexcept {
   return static_cast<double>(step_) +
          static_cast<double>(config_.dimension) * config_.jump_cost;
@@ -228,6 +284,58 @@ bool SingleRwCursor::next(StreamEvent& ev) {
     ++step_;
   }
   return true;
+}
+
+std::size_t SingleRwCursor::next_batch(StreamEventBlock& block,
+                                       std::size_t max_steps) {
+  block.clear();
+  const std::size_t want = std::min(max_steps, block.capacity());
+  const Graph& g = *graph_;
+  const double laziness = config_.laziness;
+  Rng rng = rng_;
+  VertexId u = u_;
+  std::size_t taken = 0;
+  // Burn-in: budget spent, nothing recorded.
+  while (burn_done_ < config_.burn_in && taken < want) {
+    if (laziness > 0.0 && bernoulli(rng, laziness)) {
+      // lazy stay
+    } else {
+      const auto nbrs = g.neighbors(u);
+      u = nbrs[uniform_index(rng, nbrs.size())];
+    }
+    block.push_empty();
+    ++burn_done_;
+    ++taken;
+  }
+  if (laziness == 0.0) {
+    // Fast path: every step moves and records an edge.
+    const std::uint64_t n = std::min<std::uint64_t>(
+        want - taken, config_.steps - step_);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const auto nbrs = g.neighbors(u);
+      const VertexId v = nbrs[uniform_index(rng, nbrs.size())];
+      block.push_edge(u, v, g.degree(v));
+      u = v;
+    }
+    step_ += n;
+    taken += static_cast<std::size_t>(n);
+  } else {
+    while (step_ < config_.steps && taken < want) {
+      if (bernoulli(rng, laziness)) {
+        block.push_empty();
+      } else {
+        const auto nbrs = g.neighbors(u);
+        const VertexId v = nbrs[uniform_index(rng, nbrs.size())];
+        block.push_edge(u, v, g.degree(v));
+        u = v;
+      }
+      ++step_;
+      ++taken;
+    }
+  }
+  u_ = u;
+  rng_ = rng;
+  return taken;
 }
 
 double SingleRwCursor::cost() const noexcept {
@@ -320,6 +428,46 @@ bool MultipleRwCursor::next(StreamEvent& ev) {
     step_ = 0;
   }
   return true;
+}
+
+std::size_t MultipleRwCursor::next_batch(StreamEventBlock& block,
+                                         std::size_t max_steps) {
+  block.clear();
+  const std::size_t want = std::min(max_steps, block.capacity());
+  const Graph& g = *graph_;
+  Rng rng = rng_;
+  std::size_t taken = 0;
+  while (taken < want && walker_ < config_.num_walkers) {
+    if (starts_.size() == walker_) {
+      // Current walker not yet placed: this query is its start jump.
+      u_ = start_sampler_->sample(rng);
+      starts_.push_back(u_);
+      block.push_empty();
+      ++taken;
+      if (config_.steps_per_walker == 0) ++walker_;
+      continue;
+    }
+    // Advance the current walker as far as the block and its step budget
+    // allow in one tight loop.
+    const std::uint64_t n = std::min<std::uint64_t>(
+        want - taken, config_.steps_per_walker - step_);
+    VertexId u = u_;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const auto nbrs = g.neighbors(u);
+      const VertexId v = nbrs[uniform_index(rng, nbrs.size())];
+      block.push_edge(u, v, g.degree(v));
+      u = v;
+    }
+    u_ = u;
+    step_ += n;
+    taken += static_cast<std::size_t>(n);
+    if (step_ == config_.steps_per_walker) {
+      ++walker_;
+      step_ = 0;
+    }
+  }
+  rng_ = rng;
+  return taken;
 }
 
 double MultipleRwCursor::cost() const noexcept {
@@ -454,6 +602,45 @@ bool RwjCursor::next(StreamEvent& ev) {
   return true;
 }
 
+std::size_t RwjCursor::next_batch(StreamEventBlock& block,
+                                  std::size_t max_steps) {
+  block.clear();
+  const std::size_t want = std::min(max_steps, block.capacity());
+  std::size_t taken = 0;
+  if (want != 0 && pending_vertex_) {
+    block.push_vertex(*pending_vertex_);
+    pending_vertex_.reset();
+    ++taken;
+  }
+  if (done_) return taken;
+  const Graph& g = *graph_;
+  const bool jumps = config_.jump_probability > 0.0;
+  const double budget = config_.budget;
+  while (taken < want) {
+    if (jumps && bernoulli(rng_, config_.jump_probability)) {
+      if (!pay_jump()) {
+        done_ = true;
+        return taken;
+      }
+      v_ = start_sampler_->sample(rng_);
+      block.push_vertex(v_);
+      ++taken;
+      continue;
+    }
+    if (cost_ + 1.0 > budget) {
+      done_ = true;
+      return taken;
+    }
+    cost_ += 1.0;
+    const auto nbrs = g.neighbors(v_);
+    const VertexId w = nbrs[uniform_index(rng_, nbrs.size())];
+    block.push_edge_vertex(v_, w, g.degree(w), w);
+    v_ = w;
+    ++taken;
+  }
+  return taken;
+}
+
 void RwjCursor::save_state(std::ostream& os) const {
   write_pod<double>(os, config_.budget);
   write_pod<double>(os, config_.jump_probability);
@@ -529,6 +716,46 @@ bool MetropolisCursor::next(StreamEvent& ev) {
   ev.has_vertex = true;
   ++step_;
   return true;
+}
+
+std::size_t MetropolisCursor::next_batch(StreamEventBlock& block,
+                                         std::size_t max_steps) {
+  block.clear();
+  const std::size_t want = std::min(max_steps, block.capacity());
+  std::size_t taken = 0;
+  if (want != 0 && pending_vertex_) {
+    block.push_vertex(*pending_vertex_);
+    pending_vertex_.reset();
+    ++taken;
+  }
+  const std::uint64_t n = std::min<std::uint64_t>(
+      want - taken, config_.steps - step_);
+  if (n == 0) return taken;
+  const Graph& g = *graph_;
+  Rng rng = rng_;
+  VertexId v = v_;
+  // deg(v) carried across iterations: on accept it is the just-fetched
+  // deg(w), so the steady state does one degree lookup per proposal.
+  std::uint32_t deg_v = g.degree(v);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const auto nbrs = g.neighbors(v);
+    const VertexId w = nbrs[uniform_index(rng, nbrs.size())];
+    const std::uint32_t deg_w = g.degree(w);
+    const double accept =
+        static_cast<double>(deg_v) / static_cast<double>(deg_w);
+    if (accept >= 1.0 || uniform01(rng) < accept) {
+      block.push_edge_vertex(v, w, deg_w, w);
+      v = w;
+      deg_v = deg_w;
+    } else {
+      block.push_vertex(v);
+    }
+  }
+  step_ += n;
+  taken += static_cast<std::size_t>(n);
+  v_ = v;
+  rng_ = rng;
+  return taken;
 }
 
 double MetropolisCursor::cost() const noexcept {

@@ -44,6 +44,8 @@ class FrontierCursor final : public SamplerCursor {
                  std::vector<VertexId> frontier, Rng rng);
 
   bool next(StreamEvent& ev) override;
+  std::size_t next_batch(StreamEventBlock& block,
+                         std::size_t max_steps) override;
   [[nodiscard]] bool done() const noexcept override {
     return step_ == config_.steps;
   }
@@ -91,6 +93,8 @@ class SingleRwCursor final : public SamplerCursor {
                  const StartSampler& start_sampler);
 
   bool next(StreamEvent& ev) override;
+  std::size_t next_batch(StreamEventBlock& block,
+                         std::size_t max_steps) override;
   [[nodiscard]] bool done() const noexcept override {
     return step_ == config_.steps && burn_done_ == config_.burn_in;
   }
@@ -133,6 +137,8 @@ class MultipleRwCursor final : public SamplerCursor {
                    const StartSampler& start_sampler);
 
   bool next(StreamEvent& ev) override;
+  std::size_t next_batch(StreamEventBlock& block,
+                         std::size_t max_steps) override;
   [[nodiscard]] bool done() const noexcept override {
     return walker_ == config_.num_walkers;
   }
@@ -175,6 +181,8 @@ class RwjCursor final : public SamplerCursor {
             const StartSampler& start_sampler);
 
   bool next(StreamEvent& ev) override;
+  std::size_t next_batch(StreamEventBlock& block,
+                         std::size_t max_steps) override;
   [[nodiscard]] bool done() const noexcept override { return done_; }
   [[nodiscard]] double cost() const noexcept override { return cost_; }
   [[nodiscard]] const std::vector<VertexId>& starts() const noexcept override {
@@ -220,6 +228,8 @@ class MetropolisCursor final : public SamplerCursor {
                    Rng rng, const StartSampler& start_sampler);
 
   bool next(StreamEvent& ev) override;
+  std::size_t next_batch(StreamEventBlock& block,
+                         std::size_t max_steps) override;
   [[nodiscard]] bool done() const noexcept override {
     return step_ == config_.steps && !pending_vertex_;
   }

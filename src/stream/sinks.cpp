@@ -14,7 +14,31 @@ using streamio::read_vector;
 using streamio::write_pod;
 using streamio::write_vector;
 
+constexpr std::uint8_t kHasEdge = StreamEventBlock::kHasEdge;
+constexpr std::uint8_t kHasVertex = StreamEventBlock::kHasVertex;
+
 }  // namespace
+
+// ------------------------------------------------------------ base class
+
+void EstimatorSink::ingest_block(const StreamEventBlock& block) {
+  // Generic fallback: replay the rows through consume(). Overrides below
+  // flatten this loop over the block's columns.
+  const std::size_t n = block.size();
+  const std::uint8_t* flags = block.flags().data();
+  const VertexId* u = block.u().data();
+  const VertexId* v = block.v().data();
+  const VertexId* vertex = block.vertex().data();
+  StreamEvent ev;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t f = flags[i];
+    ev.has_edge = (f & kHasEdge) != 0;
+    ev.has_vertex = (f & kHasVertex) != 0;
+    if (ev.has_edge) ev.edge = Edge{u[i], v[i]};
+    if (ev.has_vertex) ev.vertex = vertex[i];
+    consume(ev);
+  }
+}
 
 // ------------------------------------------------- DegreeDistributionSink
 
@@ -30,6 +54,40 @@ void DegreeDistributionSink::consume(const StreamEvent& ev) {
   if (d >= weighted_.size()) weighted_.resize(d + 1, 0.0);
   weighted_[d] += inv_deg;
   ++n_;
+}
+
+void DegreeDistributionSink::ingest_block(const StreamEventBlock& block) {
+  const std::size_t sz = block.size();
+  const std::uint8_t* flags = block.flags().data();
+  const std::uint32_t* deg = block.deg_v().data();
+  const VertexId* v = block.v().data();
+  double s = s_;
+  std::uint64_t n = n_;
+  if (kind_ == DegreeKind::kSymmetric) {
+    // The bucket degree equals the weight degree: both come straight from
+    // the block's degree column, no graph lookups at all.
+    for (std::size_t i = 0; i < sz; ++i) {
+      if (!(flags[i] & kHasEdge)) continue;
+      const std::uint32_t d = deg[i];
+      const double inv_deg = 1.0 / static_cast<double>(d);
+      s += inv_deg;
+      if (d >= weighted_.size()) weighted_.resize(d + 1, 0.0);
+      weighted_[d] += inv_deg;
+      ++n;
+    }
+  } else {
+    for (std::size_t i = 0; i < sz; ++i) {
+      if (!(flags[i] & kHasEdge)) continue;
+      const double inv_deg = 1.0 / static_cast<double>(deg[i]);
+      s += inv_deg;
+      const std::uint32_t d = degree_of(*graph_, v[i], kind_);
+      if (d >= weighted_.size()) weighted_.resize(d + 1, 0.0);
+      weighted_[d] += inv_deg;
+      ++n;
+    }
+  }
+  s_ = s;
+  n_ = n;
 }
 
 std::string_view DegreeDistributionSink::name() const noexcept {
@@ -82,6 +140,20 @@ void VertexDensitySink::consume(const StreamEvent& ev) {
   ++n_;
 }
 
+void VertexDensitySink::ingest_block(const StreamEventBlock& block) {
+  const std::size_t sz = block.size();
+  const std::uint8_t* flags = block.flags().data();
+  const std::uint32_t* deg = block.deg_v().data();
+  const VertexId* v = block.v().data();
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (!(flags[i] & kHasEdge)) continue;
+    const double inv_deg = 1.0 / static_cast<double>(deg[i]);
+    s_ += inv_deg;
+    if (pred_(v[i])) weighted_hits_ += inv_deg;
+    ++n_;
+  }
+}
+
 std::string_view VertexDensitySink::name() const noexcept {
   return "vertex_density";
 }
@@ -120,6 +192,20 @@ void EdgeDensitySink::consume(const StreamEvent& ev) {
   if (has_label_(ev.edge)) ++hits_;
 }
 
+void EdgeDensitySink::ingest_block(const StreamEventBlock& block) {
+  const std::size_t sz = block.size();
+  const std::uint8_t* flags = block.flags().data();
+  const VertexId* u = block.u().data();
+  const VertexId* v = block.v().data();
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (!(flags[i] & kHasEdge)) continue;
+    const Edge e{u[i], v[i]};
+    if (!labeled_(e)) continue;
+    ++b_star_;
+    if (has_label_(e)) ++hits_;
+  }
+}
+
 std::string_view EdgeDensitySink::name() const noexcept {
   return "edge_density";
 }
@@ -152,6 +238,20 @@ void AssortativitySink::consume(const StreamEvent& ev) {
            static_cast<double>(graph_->in_degree(e.v)));
 }
 
+void AssortativitySink::ingest_block(const StreamEventBlock& block) {
+  const std::size_t sz = block.size();
+  const std::uint8_t* flags = block.flags().data();
+  const VertexId* u = block.u().data();
+  const VertexId* v = block.v().data();
+  const Graph& g = *graph_;
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (!(flags[i] & kHasEdge)) continue;
+    if (!g.has_directed_edge(u[i], v[i])) continue;  // unlabeled: skip
+    acc_.add(static_cast<double>(g.out_degree(u[i])),
+             static_cast<double>(g.in_degree(v[i])));
+  }
+}
+
 std::string_view AssortativitySink::name() const noexcept {
   return "assortativity";
 }
@@ -182,6 +282,23 @@ void GraphMomentsSink::consume(const StreamEvent& ev) {
   }
   ++n_;
   observed_.add(deg);
+}
+
+void GraphMomentsSink::ingest_block(const StreamEventBlock& block) {
+  const std::size_t sz = block.size();
+  const std::uint8_t* flags = block.flags().data();
+  const std::uint32_t* deg_col = block.deg_v().data();
+  const std::size_t moments = pow_sums_.size();
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (!(flags[i] & kHasEdge)) continue;
+    const double deg = static_cast<double>(deg_col[i]);
+    s_ += 1.0 / deg;
+    for (std::size_t k = 1; k <= moments; ++k) {
+      pow_sums_[k - 1] += std::pow(deg, static_cast<double>(k) - 1.0);
+    }
+    ++n_;
+    observed_.add(deg);
+  }
 }
 
 std::string_view GraphMomentsSink::name() const noexcept {
@@ -237,6 +354,18 @@ void UniformDegreeSink::consume(const StreamEvent& ev) {
   if (!ev.has_vertex) return;
   deg_sum_ += static_cast<double>(graph_->degree(ev.vertex));
   ++n_;
+}
+
+void UniformDegreeSink::ingest_block(const StreamEventBlock& block) {
+  const std::size_t sz = block.size();
+  const std::uint8_t* flags = block.flags().data();
+  const VertexId* vertex = block.vertex().data();
+  const Graph& g = *graph_;
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (!(flags[i] & kHasVertex)) continue;
+    deg_sum_ += static_cast<double>(g.degree(vertex[i]));
+    ++n_;
+  }
 }
 
 std::string_view UniformDegreeSink::name() const noexcept {

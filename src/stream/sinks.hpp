@@ -25,12 +25,22 @@
 
 namespace frontier {
 
-/// Incremental estimator fed one StreamEvent at a time.
+/// Incremental estimator fed one StreamEvent at a time, or — on the
+/// batched fast path — one StreamEventBlock at a time.
 class EstimatorSink {
  public:
   virtual ~EstimatorSink() = default;
 
   virtual void consume(const StreamEvent& ev) = 0;
+
+  /// Folds every row of `block` in order. The accumulated state is
+  /// bit-identical to consume()ing the rows one by one — overrides only
+  /// flatten the loop (no per-event dispatch, degree weights read from
+  /// the block's degree column). Contract: the block's deg_v column must
+  /// be the symmetric degree of v in this sink's graph, which holds for
+  /// every block produced by a cursor over that graph. The base
+  /// implementation replays rows through consume().
+  virtual void ingest_block(const StreamEventBlock& block);
 
   /// Stable identifier, stored in checkpoints and verified on load.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
@@ -47,6 +57,7 @@ class DegreeDistributionSink final : public EstimatorSink {
   DegreeDistributionSink(const Graph& g, DegreeKind kind);
 
   void consume(const StreamEvent& ev) override;
+  void ingest_block(const StreamEventBlock& block) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
@@ -72,6 +83,7 @@ class VertexDensitySink final : public EstimatorSink {
   VertexDensitySink(const Graph& g, std::function<bool(VertexId)> pred);
 
   void consume(const StreamEvent& ev) override;
+  void ingest_block(const StreamEventBlock& block) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
@@ -94,6 +106,7 @@ class EdgeDensitySink final : public EstimatorSink {
                   std::function<bool(const Edge&)> has_label);
 
   void consume(const StreamEvent& ev) override;
+  void ingest_block(const StreamEventBlock& block) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
@@ -115,6 +128,7 @@ class AssortativitySink final : public EstimatorSink {
   explicit AssortativitySink(const Graph& g);
 
   void consume(const StreamEvent& ev) override;
+  void ingest_block(const StreamEventBlock& block) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
@@ -140,6 +154,7 @@ class GraphMomentsSink final : public EstimatorSink {
   explicit GraphMomentsSink(const Graph& g, unsigned max_moment = 3);
 
   void consume(const StreamEvent& ev) override;
+  void ingest_block(const StreamEventBlock& block) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
@@ -171,6 +186,7 @@ class UniformDegreeSink final : public EstimatorSink {
   explicit UniformDegreeSink(const Graph& g);
 
   void consume(const StreamEvent& ev) override;
+  void ingest_block(const StreamEventBlock& block) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
