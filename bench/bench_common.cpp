@@ -34,6 +34,14 @@ double curve_fingerprint(const CurveResult& result) {
 
 }  // namespace
 
+double values_fingerprint(std::span<const double> values) {
+  std::uint64_t hash = kFnv1aOffsetBasis;
+  for (const double v : values) {
+    hash = fnv1a_u64(hash, std::bit_cast<std::uint64_t>(v));
+  }
+  return static_cast<double>(hash & ((std::uint64_t{1} << 52) - 1));
+}
+
 BenchSession::BenchSession(int argc, char** argv, std::string name)
     : start_(std::chrono::steady_clock::now()) {
   for (int i = 1; i < argc; ++i) {

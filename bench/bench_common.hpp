@@ -115,6 +115,14 @@ void print_header(const std::string& title, const Graph& g,
                                            std::size_t paper_m,
                                            std::size_t floor_m = 10);
 
+/// 52-bit FNV-1a hash over the bit patterns of `values` — the shared
+/// `result_fingerprint` scheme (same core and mask as the curve
+/// fingerprint of add_curves), small enough to live losslessly in a
+/// double-valued metric. Benches that do not go through add_curves hash
+/// their deterministic result values with this and emit the metric
+/// themselves, so CI's bit-identity gates cover them too.
+[[nodiscard]] double values_fingerprint(std::span<const double> values);
+
 /// Small-integer env knob (e.g. FS_STREAM_MAX_EXP) with the same strict
 /// parsing as the FS_* knobs: malformed values exit 2 with a message.
 [[nodiscard]] int checked_env_int(const char* name, int fallback);

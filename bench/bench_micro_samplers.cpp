@@ -3,6 +3,8 @@
 // called out in DESIGN.md §5.
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -161,6 +163,57 @@ void BM_GraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuild);
 
+/// Deterministic result fingerprint. Timings vary run to run, so the
+/// fingerprint hashes fixed-seed sampler *outputs* instead — one short
+/// run per sampler family benchmarked above, folding every sampled edge,
+/// start vertex and the final cost. It must be invariant across
+/// FS_THREADS and FS_BLOCK (the samplers' drain path goes through
+/// StreamEventBlock), which is exactly what CI's perf-smoke gate checks.
+double deterministic_fingerprint() {
+  const Graph& g = bench_graph();
+  std::uint64_t h = kFnv1aOffsetBasis;
+  const auto absorb = [&h](const SampleRecord& rec) {
+    for (const Edge& e : rec.edges) {
+      h = fnv1a_u64(h, e.u);
+      h = fnv1a_u64(h, e.v);
+    }
+    for (const VertexId s : rec.starts) h = fnv1a_u64(h, s);
+    h = fnv1a_u64(h, std::bit_cast<std::uint64_t>(rec.cost));
+  };
+  {
+    Rng rng(1);
+    absorb(SingleRandomWalk(g, {.steps = 2000}).run(rng));
+  }
+  {
+    Rng rng(2);
+    absorb(MetropolisHastingsWalk(g, {.steps = 2000}).run(rng));
+  }
+  {
+    Rng rng(9);
+    absorb(MultipleRandomWalks(g, {.num_walkers = 10, .steps_per_walker = 200})
+               .run(rng));
+  }
+  {
+    Rng rng(3);
+    absorb(FrontierSampler(
+               g, {.dimension = 64, .steps = 2000,
+                   .selection = FrontierSampler::Selection::kWeightedTree})
+               .run(rng));
+  }
+  {
+    Rng rng(4);
+    absorb(FrontierSampler(
+               g, {.dimension = 64, .steps = 2000,
+                   .selection = FrontierSampler::Selection::kLinearScan})
+               .run(rng));
+  }
+  {
+    Rng rng(6);
+    absorb(RandomWalkWithJumps(g, {.budget = 2000.0}).run(rng));
+  }
+  return static_cast<double>(h & ((std::uint64_t{1} << 52) - 1));
+}
+
 /// Mirrors every completed google-benchmark run into the shared
 /// BenchReport, so bench_micro_samplers speaks the same --json schema as
 /// the figure/table benches despite its different driver.
@@ -212,5 +265,6 @@ int main(int argc, char** argv) {
   SessionReporter reporter(session);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  session.metric("result_fingerprint", deterministic_fingerprint(), "fnv52");
   return 0;
 }

@@ -47,6 +47,7 @@
 #include "stream/cursor.hpp"
 #include "stream/sampler_cursors.hpp"
 #include "stream/sinks.hpp"
+#include "stream/motif_sinks.hpp"
 #include "stream/checkpoint.hpp"
 #include "stream/engine.hpp"
 
@@ -70,6 +71,7 @@
 #include "analysis/transient.hpp"
 #include "analysis/spectral.hpp"
 #include "analysis/conductance.hpp"
+#include "analysis/motifs.hpp"
 
 #include "experiments/config.hpp"
 #include "experiments/datasets.hpp"

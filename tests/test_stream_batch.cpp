@@ -23,6 +23,7 @@
 #include "sampling/single_rw.hpp"
 #include "stream/cursor.hpp"
 #include "stream/engine.hpp"
+#include "stream/motif_sinks.hpp"
 #include "stream/sampler_cursors.hpp"
 #include "stream/sinks.hpp"
 
@@ -202,6 +203,9 @@ SinkSet make_sinks(const Graph& g) {
   sinks.push_back(std::make_unique<AssortativitySink>(g));
   sinks.push_back(std::make_unique<GraphMomentsSink>(g));
   sinks.push_back(std::make_unique<UniformDegreeSink>(g));
+  sinks.push_back(std::make_unique<TriangleSink>(g));
+  sinks.push_back(std::make_unique<ClusteringSink>(g));
+  sinks.push_back(std::make_unique<MotifSink>(g));
   return sinks;
 }
 

@@ -16,6 +16,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "stream/engine.hpp"
+#include "stream/motif_sinks.hpp"
 #include "stream/sampler_cursors.hpp"
 #include "stream/sinks.hpp"
 
@@ -34,6 +35,9 @@ SinkSet make_sinks(const Graph& g) {
   sinks.push_back(std::make_unique<AssortativitySink>(g));
   sinks.push_back(std::make_unique<GraphMomentsSink>(g));
   sinks.push_back(std::make_unique<UniformDegreeSink>(g));
+  sinks.push_back(std::make_unique<TriangleSink>(g));
+  sinks.push_back(std::make_unique<ClusteringSink>(g));
+  sinks.push_back(std::make_unique<MotifSink>(g));
   return sinks;
 }
 
@@ -42,6 +46,9 @@ struct FinalState {
   double assortativity = 0.0;
   double average_degree = 0.0;
   double uniform_degree = 0.0;
+  double transitivity = 0.0;
+  double clustering = 0.0;
+  MotifEstimate motifs{};
   double cost = 0.0;
   std::uint64_t events = 0;
   std::array<std::uint64_t, 4> rng_state{};
@@ -56,6 +63,10 @@ FinalState capture(const StreamEngine& engine) {
   s.average_degree =
       dynamic_cast<const GraphMomentsSink&>(*sinks[2]).average_degree();
   s.uniform_degree = dynamic_cast<const UniformDegreeSink&>(*sinks[3]).value();
+  s.transitivity = dynamic_cast<const TriangleSink&>(*sinks[4]).transitivity();
+  s.clustering =
+      dynamic_cast<const ClusteringSink&>(*sinks[5]).global_clustering();
+  s.motifs = dynamic_cast<const MotifSink&>(*sinks[6]).estimate(1000.0);
   s.cost = engine.cursor().cost();
   s.events = engine.events();
   s.rng_state = engine.cursor().rng().state();
@@ -67,6 +78,12 @@ void expect_identical(const FinalState& a, const FinalState& b) {
   EXPECT_EQ(a.assortativity, b.assortativity);
   EXPECT_EQ(a.average_degree, b.average_degree);
   EXPECT_EQ(a.uniform_degree, b.uniform_degree);
+  EXPECT_EQ(a.transitivity, b.transitivity);
+  EXPECT_EQ(a.clustering, b.clustering);
+  EXPECT_EQ(a.motifs.triangle, b.motifs.triangle);
+  EXPECT_EQ(a.motifs.wedge, b.motifs.wedge);
+  EXPECT_EQ(a.motifs.cycle4, b.motifs.cycle4);
+  EXPECT_EQ(a.motifs.clique4, b.motifs.clique4);
   EXPECT_EQ(a.cost, b.cost);
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.rng_state, b.rng_state);

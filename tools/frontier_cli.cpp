@@ -23,12 +23,13 @@
 //       violation exits nonzero naming the offending file and key — CI's
 //       perf-smoke job gates on this.
 //   frontier_cli stream <edges.txt> [--method fs|srw|mrw|mh|rwj]
-//                [--budget N] [--dimension M] [--seed S]
+//                [--budget N] [--dimension M] [--seed S] [--motifs]
 //                [--checkpoint out.ckpt] [--resume in.ckpt]
 //                [--checkpoint-every N]
 //       Crawl with the streaming engine (O(1)-in-budget memory): online
 //       estimator sinks instead of a materialized sample, with optional
-//       periodic checkpoints and pause/resume.
+//       periodic checkpoints and pause/resume. --motifs adds the full
+//       3-/4-vertex motif census sink (and its exact baseline columns).
 //
 //   Every subcommand that loads a graph accepts --mmap: the input must be
 //   a v2 .bin snapshot, which is served zero-copy from the page cache
@@ -90,7 +91,9 @@ struct Args {
 
 /// Flags that never take a value, so "--mmap graph.bin" keeps the path as
 /// a positional argument.
-bool is_boolean_flag(const std::string& key) { return key == "mmap"; }
+bool is_boolean_flag(const std::string& key) {
+  return key == "mmap" || key == "motifs";
+}
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
@@ -261,7 +264,7 @@ int cmd_sample(const Args& args) {
 int cmd_stream(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: frontier_cli stream <edges.txt> [--method fs] "
-                 "[--budget N] [--dimension M] [--seed S] "
+                 "[--budget N] [--dimension M] [--seed S] [--motifs] "
                  "[--checkpoint out.ckpt] [--resume in.ckpt] "
                  "[--checkpoint-every N]\n";
     return 2;
@@ -306,13 +309,29 @@ int cmd_stream(const Args& args) {
   auto assort_sink = std::make_unique<AssortativitySink>(g);
   auto moments_sink = std::make_unique<GraphMomentsSink>(g);
   auto uniform_sink = std::make_unique<UniformDegreeSink>(g);
+  auto triangle_sink = std::make_unique<TriangleSink>(g);
+  auto clustering_sink = std::make_unique<ClusteringSink>(g);
   const AssortativitySink* assort = assort_sink.get();
   const GraphMomentsSink* moments = moments_sink.get();
   const UniformDegreeSink* uniform = uniform_sink.get();
+  const TriangleSink* triangles = triangle_sink.get();
+  const ClusteringSink* clustering = clustering_sink.get();
   sinks.push_back(std::move(degree_sink));
   sinks.push_back(std::move(assort_sink));
   sinks.push_back(std::move(moments_sink));
   sinks.push_back(std::move(uniform_sink));
+  sinks.push_back(std::move(triangle_sink));
+  sinks.push_back(std::move(clustering_sink));
+  // The full motif census walks two-hop neighborhoods per event, so it
+  // is opt-in; note a checkpoint written with --motifs only resumes with
+  // --motifs (the sink roster is part of the checkpoint identity).
+  const bool want_motifs = args.options.count("motifs") != 0;
+  const MotifSink* motifs = nullptr;
+  if (want_motifs) {
+    auto motif_sink = std::make_unique<MotifSink>(g);
+    motifs = motif_sink.get();
+    sinks.push_back(std::move(motif_sink));
+  }
   StreamEngine engine(std::move(cursor), std::move(sinks));
 
   const std::string resume = args.get("resume", "");
@@ -372,6 +391,29 @@ int cmd_stream(const Args& args) {
          format_number(static_cast<double>(g.volume()))});
     table.add_row({"assortativity", format_number(assort->value()),
                    format_number(exact_assortativity(g))});
+    const double vol = static_cast<double>(g.volume());
+    table.add_row(
+        {"triangles", format_number(triangles->triangle_count(vol)),
+         format_number(static_cast<double>(exact_triangle_count(g)))});
+    table.add_row({"transitivity", format_number(triangles->transitivity()),
+                   format_number(exact_transitivity(g))});
+    table.add_row({"clustering", format_number(clustering->global_clustering()),
+                   format_number(exact_global_clustering(g))});
+    if (motifs != nullptr) {
+      const MotifEstimate est = motifs->estimate(vol);
+      const MotifCounts want = exact_motif_counts(g);
+      const auto row = [&](const char* label, double e, std::uint64_t w) {
+        table.add_row({label, format_number(e),
+                       format_number(static_cast<double>(w))});
+      };
+      row("wedge", est.wedge, want.wedge);
+      row("path4", est.path4, want.path4);
+      row("claw", est.claw, want.claw);
+      row("cycle4", est.cycle4, want.cycle4);
+      row("paw", est.paw, want.paw);
+      row("diamond", est.diamond, want.diamond);
+      row("clique4", est.clique4, want.clique4);
+    }
   }
   table.print(std::cout);
   return 0;
