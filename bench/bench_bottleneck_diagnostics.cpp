@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   TextTable table({"graph", "|V| (LCC)", "gap", "relax. time",
                    "Cheeger lo", "sweep-cut phi", "Cheeger hi",
                    "cut size"});
+  std::vector<double> fingerprint_values;
   for (const Dataset& ds : datasets) {
     const Graph lcc = largest_connected_component(ds.graph).graph;
     const SpectralInfo s = spectral_gap(lcc);
@@ -38,7 +39,16 @@ int main(int argc, char** argv) {
     session.metric("spectral_gap/" + ds.name, s.spectral_gap);
     session.metric("relaxation_time/" + ds.name, s.relaxation_time);
     session.metric("sweep_conductance/" + ds.name, cut.conductance);
+    fingerprint_values.push_back(s.spectral_gap);
+    fingerprint_values.push_back(s.relaxation_time);
+    fingerprint_values.push_back(cut.conductance);
+    fingerprint_values.push_back(static_cast<double>(cut.side.size()));
   }
+  // Spectral sweeps are deterministic (power iteration from a fixed
+  // start), so the fingerprint must match across thread counts — this is
+  // what lets CI's perf-smoke gate on it like the curve benches.
+  session.metric("result_fingerprint", values_fingerprint(fingerprint_values),
+                 "fnv52");
   table.print(std::cout);
   std::cout << "\nexpected shape: the GAB graphs and the "
                "community-structured Flickr surrogate have relaxation "

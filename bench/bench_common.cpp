@@ -71,6 +71,17 @@ BenchSession::~BenchSession() {
   if (json_path_.empty()) return;
   report_.add_metric("threads_resolved",
                      static_cast<double>(resolve_threads(config_.threads)));
+  // Process-level resource columns (obs/resource.hpp): peak RSS is the
+  // run's high-water mark, the fault counts expose mmap-vs-rebuild load
+  // behavior. Recorded in every report so regressions show up in CI's
+  // perf-smoke artifacts without rerunning anything.
+  const ResourceUsage usage = process_usage();
+  report_.add_metric("peak_rss_bytes",
+                     static_cast<double>(usage.peak_rss_bytes), "bytes");
+  report_.add_metric("minor_page_faults",
+                     static_cast<double>(usage.minor_page_faults));
+  report_.add_metric("major_page_faults",
+                     static_cast<double>(usage.major_page_faults));
   report_.wall_time_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();

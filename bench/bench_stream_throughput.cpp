@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
         .dimension = m, .steps = frontier_steps(budget, m, 1.0)};
   };
 
-  const auto run_streaming = [&](double budget) {
+  const auto run_streaming = [&](double budget, bool instrument = false) {
     SinkSet sinks;
     sinks.push_back(std::make_unique<GraphMomentsSink>(g));
     sinks.push_back(
@@ -79,6 +79,12 @@ int main(int argc, char** argv) {
     StreamEngine engine(
         std::make_unique<FrontierCursor>(g, fs_config(budget), Rng(cfg.seed)),
         std::move(sinks));
+    std::unique_ptr<CrawlInstrumentation> instr;
+    if (instrument) {
+      instr = std::make_unique<CrawlInstrumentation>(
+          MetricsRegistry::global(), engine.cursor(), engine.sinks());
+      engine.set_instrumentation(instr.get());
+    }
     const auto t0 = std::chrono::steady_clock::now();
     engine.run_to_completion();
     const std::chrono::duration<double> dt =
@@ -119,6 +125,7 @@ int main(int argc, char** argv) {
     const double budget = std::pow(10.0, exp);
     add_row("stream", budget, run_streaming(budget));
   }
+
   for (int exp = 6; exp <= batch_max_exp; ++exp) {
     const double budget = std::pow(10.0, exp);
     add_row("batch", budget, run_batch(budget));
@@ -127,5 +134,28 @@ int main(int argc, char** argv) {
   std::cout << "\nRSS rows are cumulative high-water marks: a flat streaming "
                "column is the O(1)-in-budget memory claim; batch grows ~16 "
                "bytes/edge.\n";
+
+  // Telemetry overhead at a fixed budget: the same crawl with and without
+  // CrawlInstrumentation attached. The estimates must agree exactly
+  // (telemetry never touches the RNG stream or sink state); the wall-time
+  // delta is the advertised hot-loop cost (< 2% at the default FS_BLOCK,
+  // see docs/OBSERVABILITY.md).
+  {
+    const double budget = std::pow(10.0, std::min(stream_max_exp, 7));
+    const RunResult off = run_streaming(budget);
+    const RunResult on = run_streaming(budget, /*instrument=*/true);
+    const double overhead_pct =
+        100.0 * (on.seconds - off.seconds) / std::max(off.seconds, 1e-9);
+    session.metric("metrics_overhead_pct", overhead_pct, "%");
+    session.metric("metrics_estimate_identical",
+                   on.estimate == off.estimate ? 1.0 : 0.0);
+    std::cout << "\ntelemetry overhead at B=" << format_number(budget) << ": "
+              << format_number(overhead_pct) << "% ("
+              << format_number(off.seconds) << " s off, "
+              << format_number(on.seconds) << " s on), estimates "
+              << (on.estimate == off.estimate ? "bit-identical"
+                                              : "DIFFER (bug!)")
+              << "\n";
+  }
   return 0;
 }

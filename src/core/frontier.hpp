@@ -65,6 +65,12 @@
 #include "stats/analytic.hpp"
 #include "stats/bootstrap.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/exporter.hpp"
+#include "obs/crawl_metrics.hpp"
+
 #include "analysis/dense_chain.hpp"
 #include "analysis/cartesian_power.hpp"
 #include "analysis/walker_counts.hpp"

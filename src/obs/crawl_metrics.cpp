@@ -1,0 +1,104 @@
+#include "obs/crawl_metrics.hpp"
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace frontier {
+
+CrawlInstrumentation::CrawlInstrumentation(
+    MetricsRegistry& registry, const SamplerCursor& cursor,
+    std::span<const std::unique_ptr<EstimatorSink>> sinks)
+    : events_total_(registry.counter("stream.events_total")),
+      blocks_total_(registry.counter("stream.blocks_total")),
+      edge_events_total_(registry.counter("stream.edge_events_total")),
+      vertex_events_total_(registry.counter("stream.vertex_events_total")),
+      empty_events_total_(registry.counter("stream.empty_events_total")),
+      unique_vertices_(registry.counter("stream.unique_vertices")),
+      revisits_total_(registry.counter("stream.revisits_total")),
+      active_walkers_(registry.gauge("stream.active_walkers")),
+      pump_ns_(registry.histogram("stream.pump_ns")),
+      cursor_batch_ns_(registry.histogram("stream.cursor_batch_ns")),
+      checkpoint_save_ns_(registry.histogram("stream.checkpoint_save_ns")),
+      checkpoint_save_bytes_(
+          registry.histogram("stream.checkpoint_save_bytes")),
+      checkpoint_load_ns_(registry.histogram("stream.checkpoint_load_ns")),
+      checkpoint_load_bytes_(
+          registry.histogram("stream.checkpoint_load_bytes")),
+      visited_(cursor.graph().num_vertices(), false) {
+  sink_ingest_ns_.reserve(sinks.size());
+  for (const auto& sink : sinks) {
+    sink_ingest_ns_.push_back(registry.histogram(
+        "stream.sink_ingest_ns." + std::string(sink->name())));
+  }
+  active_walkers_.set(static_cast<double>(cursor.active_walkers()));
+}
+
+void CrawlInstrumentation::touch(VertexId v) {
+  if (static_cast<std::size_t>(v) >= visited_.size()) return;
+  if (visited_[static_cast<std::size_t>(v)]) {
+    revisits_seen_ += 1;
+  } else {
+    visited_[static_cast<std::size_t>(v)] = true;
+    unique_seen_ += 1;
+  }
+}
+
+void CrawlInstrumentation::on_block(const StreamEventBlock& block,
+                                    const SamplerCursor& cursor,
+                                    std::uint64_t cursor_ns) {
+  const auto flags = block.flags();
+  const auto v = block.v();
+  const auto vertex = block.vertex();
+  const std::uint64_t unique_before = unique_seen_;
+  const std::uint64_t revisits_before = revisits_seen_;
+
+  std::uint64_t edge_rows = 0;
+  std::uint64_t vertex_rows = 0;
+  std::uint64_t empty_rows = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    const std::uint8_t f = flags[i];
+    if (f & StreamEventBlock::kHasEdge) edge_rows += 1;
+    if (f & StreamEventBlock::kHasVertex) {
+      vertex_rows += 1;
+      touch(vertex[i]);
+    } else if (f & StreamEventBlock::kHasEdge) {
+      touch(v[i]);
+    } else {
+      empty_rows += 1;
+    }
+  }
+
+  events_total_.add(block.size());
+  blocks_total_.add(1);
+  edge_events_total_.add(edge_rows);
+  vertex_events_total_.add(vertex_rows);
+  empty_events_total_.add(empty_rows);
+  unique_vertices_.add(unique_seen_ - unique_before);
+  revisits_total_.add(revisits_seen_ - revisits_before);
+  events_seen_ += block.size();
+
+  cursor_batch_ns_.observe(cursor_ns);
+  active_walkers_.set(static_cast<double>(cursor.active_walkers()));
+}
+
+void CrawlInstrumentation::on_sink_ingest(std::size_t sink_index,
+                                          std::uint64_t ns) {
+  if (sink_index < sink_ingest_ns_.size()) {
+    sink_ingest_ns_[sink_index].observe(ns);
+  }
+}
+
+void CrawlInstrumentation::on_checkpoint_save(std::uint64_t ns,
+                                              std::uint64_t bytes) {
+  checkpoint_save_ns_.observe(ns);
+  checkpoint_save_bytes_.observe(bytes);
+}
+
+void CrawlInstrumentation::on_checkpoint_load(std::uint64_t ns,
+                                              std::uint64_t bytes) {
+  checkpoint_load_ns_.observe(ns);
+  checkpoint_load_bytes_.observe(bytes);
+}
+
+}  // namespace frontier

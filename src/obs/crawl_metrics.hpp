@@ -1,0 +1,106 @@
+// CrawlInstrumentation — per-crawl telemetry for the streaming pipeline.
+//
+// StreamEngine calls into this object from *outside* the sampling hot
+// path: after each block refill it hands over the filled block (plus the
+// measured next_batch duration), and around each sink ingest / checkpoint
+// it reports durations and byte counts. The instrumentation only reads —
+// it never draws random numbers, never mutates the cursor or the sinks —
+// so a crawl with instrumentation attached produces bit-identical
+// estimates, RNG state and checkpoint bytes to one without
+// (tests/test_obs_determinism.cpp, and the CI checkpoint-compare gate).
+//
+// Metric catalog (all registered on construction; see
+// docs/OBSERVABILITY.md):
+//   counters   stream.events_total           budgeted cursor steps
+//              stream.blocks_total           next_batch refills
+//              stream.edge_events_total      rows carrying an edge
+//              stream.vertex_events_total    rows carrying a vertex
+//              stream.empty_events_total     rows carrying neither
+//              stream.unique_vertices        distinct vertices touched
+//              stream.revisits_total         touches of already-seen ones
+//   gauges     stream.active_walkers         SamplerCursor::active_walkers
+//   histograms stream.pump_ns                one pump() call
+//              stream.cursor_batch_ns        one next_batch() call
+//              stream.sink_ingest_ns.<sink>  one ingest_block() per sink
+//              stream.checkpoint_save_ns / _bytes
+//              stream.checkpoint_load_ns / _bytes
+//
+// "Touched" means: the observed vertex of a vertex-carrying row, else the
+// edge target of an edge-only row; empty rows touch nothing. The revisit
+// rate of a crawl is revisits_total / (events_total - empty_events_total).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "stream/cursor.hpp"
+#include "stream/sinks.hpp"
+
+namespace frontier {
+
+class CrawlInstrumentation {
+ public:
+  /// Registers the catalog above in `registry`. The per-sink ingest
+  /// histograms are named after EstimatorSink::name() in sink order.
+  CrawlInstrumentation(
+      MetricsRegistry& registry, const SamplerCursor& cursor,
+      std::span<const std::unique_ptr<EstimatorSink>> sinks);
+
+  /// One filled block, straight out of next_batch(); `cursor_ns` is the
+  /// wall time that next_batch() call took.
+  void on_block(const StreamEventBlock& block, const SamplerCursor& cursor,
+                std::uint64_t cursor_ns);
+
+  /// One ingest_block() call on sinks[sink_index] took `ns`.
+  void on_sink_ingest(std::size_t sink_index, std::uint64_t ns);
+
+  void on_pump(std::uint64_t ns) { pump_ns_.observe(ns); }
+  void on_checkpoint_save(std::uint64_t ns, std::uint64_t bytes);
+  void on_checkpoint_load(std::uint64_t ns, std::uint64_t bytes);
+
+  // Running totals, for --progress lines (cheaper than a full snapshot).
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_seen_; }
+  [[nodiscard]] std::uint64_t unique_vertices() const noexcept {
+    return unique_seen_;
+  }
+  [[nodiscard]] std::uint64_t revisits() const noexcept {
+    return revisits_seen_;
+  }
+  /// revisits / touches, 0 before the first touch.
+  [[nodiscard]] double revisit_rate() const noexcept {
+    const std::uint64_t touches = unique_seen_ + revisits_seen_;
+    return touches == 0
+               ? 0.0
+               : static_cast<double>(revisits_seen_) /
+                     static_cast<double>(touches);
+  }
+
+ private:
+  void touch(VertexId v);
+
+  Counter events_total_;
+  Counter blocks_total_;
+  Counter edge_events_total_;
+  Counter vertex_events_total_;
+  Counter empty_events_total_;
+  Counter unique_vertices_;
+  Counter revisits_total_;
+  Gauge active_walkers_;
+  Histogram pump_ns_;
+  Histogram cursor_batch_ns_;
+  Histogram checkpoint_save_ns_;
+  Histogram checkpoint_save_bytes_;
+  Histogram checkpoint_load_ns_;
+  Histogram checkpoint_load_bytes_;
+  std::vector<Histogram> sink_ingest_ns_;
+
+  std::vector<bool> visited_;  // sized |V| of the crawled graph
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t unique_seen_ = 0;
+  std::uint64_t revisits_seen_ = 0;
+};
+
+}  // namespace frontier

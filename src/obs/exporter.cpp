@@ -1,0 +1,62 @@
+#include "obs/exporter.hpp"
+
+#include <iostream>
+#include <utility>
+
+#include "graph/io.hpp"
+#include "obs/resource.hpp"
+#include "obs/snapshot.hpp"
+
+namespace frontier {
+
+MetricsExporter::MetricsExporter(MetricsRegistry& registry, std::string path,
+                                 double interval_seconds)
+    : registry_(registry),
+      path_(std::move(path)),
+      interval_seconds_(interval_seconds),
+      to_stderr_(path_ == "-"),
+      start_(std::chrono::steady_clock::now()),
+      last_export_(start_) {
+  if (!to_stderr_) {
+    file_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!file_) {
+      throw IoError("metrics: cannot open " + path_ + " for writing");
+    }
+  }
+}
+
+bool MetricsExporter::maybe_export() {
+  if (seq_ != 0) {
+    const std::chrono::duration<double> since =
+        std::chrono::steady_clock::now() - last_export_;
+    if (since.count() < interval_seconds_) return false;
+  }
+  export_now();
+  return true;
+}
+
+void MetricsExporter::export_now() {
+  const auto now = std::chrono::steady_clock::now();
+  MetricsSnapshot snap = registry_.snapshot();
+  snap.seq = seq_;
+  snap.elapsed_seconds = std::chrono::duration<double>(now - start_).count();
+  const ResourceUsage usage = process_usage();
+  snap.peak_rss_bytes = usage.peak_rss_bytes;
+  snap.minor_page_faults = usage.minor_page_faults;
+  snap.major_page_faults = usage.major_page_faults;
+
+  const std::string line = to_jsonl(snap);
+  if (to_stderr_) {
+    std::cerr << line << std::flush;
+  } else {
+    file_ << line;
+    file_.flush();
+    if (!file_) {
+      throw IoError("metrics: write failed: " + path_);
+    }
+  }
+  seq_ += 1;
+  last_export_ = now;
+}
+
+}  // namespace frontier

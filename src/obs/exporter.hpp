@@ -1,0 +1,57 @@
+// MetricsExporter — periodic JSONL snapshots of a MetricsRegistry.
+//
+// The exporter owns the output stream (a file path, or "-" for stderr),
+// the snapshot cadence, and the seq / elapsed_seconds / process stamps.
+// maybe_export() is cheap when the interval has not elapsed (one clock
+// read), so the stream loop can call it once per checkpoint chunk without
+// caring about the cadence. Every exported line is flushed immediately —
+// the file is greppable while the crawl is still running, and a crash
+// truncates at a line boundary (which metrics-summary then rejects with
+// the offending line number rather than silently accepting).
+//
+// Failure discipline: an unwritable path or a failed write throws IoError
+// (graph/io.hpp), the same error type the CLI already maps to a clean
+// "io error: ..." exit — never a mid-crawl abort().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace frontier {
+
+class MetricsExporter {
+ public:
+  /// Opens `path` for writing (truncating; "-" means stderr). An interval
+  /// of <= 0 seconds makes every maybe_export() call export. Throws
+  /// IoError if the path cannot be opened.
+  MetricsExporter(MetricsRegistry& registry, std::string path,
+                  double interval_seconds);
+
+  /// Exports iff at least the configured interval has passed since the
+  /// last exported line (the first call always exports). Returns true if
+  /// a line was written.
+  bool maybe_export();
+
+  /// Unconditionally snapshots, stamps (seq, elapsed, getrusage) and
+  /// writes one JSONL line, flushing it. Throws IoError on write failure.
+  void export_now();
+
+  [[nodiscard]] std::uint64_t lines_written() const noexcept { return seq_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  MetricsRegistry& registry_;
+  std::string path_;
+  double interval_seconds_;
+  bool to_stderr_;
+  std::ofstream file_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_export_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace frontier

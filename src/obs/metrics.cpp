@@ -1,0 +1,262 @@
+#include "obs/metrics.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace frontier {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<std::uint64_t> g_next_instance_id{1};
+
+[[nodiscard]] std::uint64_t sat_add(std::uint64_t a,
+                                    std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? ~std::uint64_t{0} : s;
+}
+
+bool valid_metric_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x21 || u > 0x7e || c == '"' || c == '\\') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Shards: one per (thread, registry) acquisition. Only the owning thread
+// ever writes a shard's cells; chunks are published with release stores so
+// a concurrent snapshot never sees a half-constructed chunk.
+
+struct MetricsRegistry::Shard {
+  using Cell = std::atomic<std::uint64_t>;
+
+  std::array<std::atomic<Cell*>, kMaxChunks> chunks{};
+
+  ~Shard() {
+    for (auto& chunk : chunks) delete[] chunk.load(std::memory_order_relaxed);
+  }
+
+  /// Owner-thread accessor; allocates the chunk on first touch.
+  [[nodiscard]] Cell& cell(std::size_t index) noexcept {
+    auto& slot = chunks[index >> kChunkBits];
+    Cell* chunk = slot.load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new Cell[kChunkSize]();  // value-init: all cells zero
+      slot.store(chunk, std::memory_order_release);
+    }
+    return chunk[index & (kChunkSize - 1)];
+  }
+
+  /// Snapshot-side accessor; nullptr when the owner never touched the
+  /// chunk (all its cells are implicitly zero).
+  [[nodiscard]] const Cell* try_cell(std::size_t index) const noexcept {
+    const Cell* chunk =
+        chunks[index >> kChunkBits].load(std::memory_order_acquire);
+    return chunk == nullptr ? nullptr : &chunk[index & (kChunkSize - 1)];
+  }
+};
+
+namespace {
+
+/// Thread-local shard cache. Keyed by the registry's process-unique
+/// instance id (never by address, which the allocator may reuse). A cache
+/// miss creates a *new* shard for this thread — a thread that alternates
+/// between registries may own several shards in one of them, which is
+/// fine: merging is associative and only the owner ever writes a shard.
+struct TlShardCache {
+  std::uint64_t instance_id = 0;
+  void* shard = nullptr;  // MetricsRegistry::Shard*, a private type
+};
+thread_local TlShardCache tl_shard_cache;
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : gauges_(new std::atomic<double>[kMaxGauges]),
+      instance_id_(
+          g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
+  for (std::size_t i = 0; i < kMaxGauges; ++i) {
+    gauges_[i].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  if (tl_shard_cache.instance_id == instance_id_) {
+    return *static_cast<Shard*>(tl_shard_cache.shard);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  tl_shard_cache = {instance_id_, shard};
+  return *shard;
+}
+
+std::uint32_t MetricsRegistry::register_metric(std::string_view name,
+                                               MetricKind kind,
+                                               std::size_t cells) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("MetricsRegistry: invalid metric name \"" +
+                                std::string(name) + "\"");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricDef& def : defs_) {
+    if (def.name == name) {
+      if (def.kind != kind) {
+        throw std::invalid_argument(
+            "MetricsRegistry: metric \"" + std::string(name) +
+            "\" already registered with a different kind");
+      }
+      return def.slot;
+    }
+  }
+  std::uint32_t slot = 0;
+  if (kind == MetricKind::kGauge) {
+    if (gauge_count_ >= kMaxGauges) {
+      throw std::invalid_argument("MetricsRegistry: too many gauges");
+    }
+    slot = static_cast<std::uint32_t>(gauge_count_);
+    gauge_count_ += 1;
+  } else {
+    if (cell_count_ + cells > kMaxChunks * kChunkSize) {
+      throw std::invalid_argument("MetricsRegistry: metric cell space full");
+    }
+    slot = static_cast<std::uint32_t>(cell_count_);
+    cell_count_ += cells;
+  }
+  defs_.push_back({std::string(name), kind, slot});
+  return slot;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(this, register_metric(name, MetricKind::kCounter, 1));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(this, register_metric(name, MetricKind::kGauge, 0));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  return Histogram(
+      this, register_metric(name, MetricKind::kHistogram, kHistogramCells));
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return defs_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto sum_cell = [&](std::size_t index) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      if (const auto* cell = shard->try_cell(index)) {
+        total = sat_add(total, cell->load(std::memory_order_relaxed));
+      }
+    }
+    return total;
+  };
+  const auto max_cell = [&](std::size_t index) {
+    std::uint64_t best = 0;
+    for (const auto& shard : shards_) {
+      if (const auto* cell = shard->try_cell(index)) {
+        const std::uint64_t v = cell->load(std::memory_order_relaxed);
+        if (v > best) best = v;
+      }
+    }
+    return best;
+  };
+
+  MetricsSnapshot snap;
+  for (const MetricDef& def : defs_) {
+    switch (def.kind) {
+      case MetricKind::kCounter:
+        snap.counters.emplace_back(def.name, sum_cell(def.slot));
+        break;
+      case MetricKind::kGauge:
+        snap.gauges.emplace_back(
+            def.name, gauges_[def.slot].load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        HistogramSnapshot h;
+        for (std::uint32_t b = 0; b < kNumBuckets; ++b) {
+          const std::uint64_t count = sum_cell(def.slot + b);
+          if (count != 0) {
+            h.buckets.emplace_back(b, count);
+            h.count = sat_add(h.count, count);
+          }
+        }
+        h.sum = sum_cell(def.slot + kSumOffset);
+        if (h.count > 0) {
+          h.min = ~max_cell(def.slot + kNotMinOffset);
+          h.max = max_cell(def.slot + kMaxOffset);
+        }
+        snap.histograms.emplace_back(def.name, std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Handles. All writes are owner-thread relaxed stores into sharded cells
+// (counters, histograms) or a relaxed store into the central gauge array.
+
+void Counter::add(std::uint64_t n) const noexcept {
+  if (registry_ == nullptr || n == 0) return;
+  auto& cell = registry_->local_shard().cell(cell_);
+  cell.store(sat_add(cell.load(std::memory_order_relaxed), n),
+             std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) const noexcept {
+  if (registry_ == nullptr) return;
+  registry_->gauges_[slot_].store(value, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::uint64_t value) const noexcept {
+  if (registry_ == nullptr) return;
+  auto& shard = registry_->local_shard();
+  const std::size_t base = cell_;
+
+  auto& bucket = shard.cell(base + histogram_bucket(value));
+  bucket.store(sat_add(bucket.load(std::memory_order_relaxed), 1),
+               std::memory_order_relaxed);
+
+  auto& sum = shard.cell(base + MetricsRegistry::kSumOffset);
+  sum.store(sat_add(sum.load(std::memory_order_relaxed), value),
+            std::memory_order_relaxed);
+
+  // min is stored bitwise-NOTed so the zero-initialized cell is neutral
+  // and both extrema merge with plain max().
+  auto& not_min = shard.cell(base + MetricsRegistry::kNotMinOffset);
+  if (~value > not_min.load(std::memory_order_relaxed)) {
+    not_min.store(~value, std::memory_order_relaxed);
+  }
+  auto& max = shard.cell(base + MetricsRegistry::kMaxOffset);
+  if (value > max.load(std::memory_order_relaxed)) {
+    max.store(value, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace frontier

@@ -1,0 +1,35 @@
+#include "obs/resource.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define FRONTIER_HAS_GETRUSAGE 1
+#else
+#define FRONTIER_HAS_GETRUSAGE 0
+#endif
+
+namespace frontier {
+
+ResourceUsage process_usage() noexcept {
+  ResourceUsage usage;
+#if FRONTIER_HAS_GETRUSAGE
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return usage;
+#if defined(__APPLE__)
+  usage.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+  // Linux reports ru_maxrss in kilobytes.
+  usage.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+  usage.minor_page_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+  usage.major_page_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+  usage.user_cpu_seconds =
+      static_cast<double>(ru.ru_utime.tv_sec) +
+      static_cast<double>(ru.ru_utime.tv_usec) / 1e6;
+  usage.system_cpu_seconds =
+      static_cast<double>(ru.ru_stime.tv_sec) +
+      static_cast<double>(ru.ru_stime.tv_usec) / 1e6;
+#endif
+  return usage;
+}
+
+}  // namespace frontier

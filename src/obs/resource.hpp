@@ -1,0 +1,23 @@
+// Process resource accounting via getrusage(2), shared by the metrics
+// exporter (per-snapshot RSS/fault columns) and bench_common's
+// BenchSession (peak-RSS / page-fault metrics in every BenchReport).
+// On platforms without getrusage, every field reads zero.
+#pragma once
+
+#include <cstdint>
+
+namespace frontier {
+
+struct ResourceUsage {
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t minor_page_faults = 0;
+  std::uint64_t major_page_faults = 0;
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+};
+
+/// Cumulative usage of the calling process (RUSAGE_SELF). peak_rss_bytes
+/// is a process-lifetime high-water mark, not the current RSS.
+[[nodiscard]] ResourceUsage process_usage() noexcept;
+
+}  // namespace frontier

@@ -1,0 +1,248 @@
+#include "obs/snapshot.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "stats/json.hpp"
+
+namespace frontier {
+namespace {
+
+constexpr std::string_view kParseContext = "metrics snapshot";
+constexpr std::string_view kSchemaContext = "metrics snapshot schema";
+
+[[noreturn]] void fail(const std::string& why) {
+  json::schema_fail(kSchemaContext, why);
+}
+
+/// Object whose member names must be unique and non-empty (the
+/// counters/gauges/histograms maps).
+const json::Value& metric_map(const json::Value& root, const std::string& key) {
+  const json::Value& obj = json::member(root, key, kSchemaContext);
+  if (obj.kind != json::Value::Kind::kObject) {
+    fail("\"" + key + "\" must be an object");
+  }
+  for (std::size_t i = 0; i < obj.members.size(); ++i) {
+    if (obj.members[i].first.empty()) {
+      fail("empty metric name in \"" + key + "\"");
+    }
+    for (std::size_t j = i + 1; j < obj.members.size(); ++j) {
+      if (obj.members[i].first == obj.members[j].first) {
+        fail("duplicate metric \"" + obj.members[i].first + "\" in \"" + key +
+             "\"");
+      }
+    }
+  }
+  return obj;
+}
+
+HistogramSnapshot parse_histogram(const std::string& name,
+                                  const json::Value& v) {
+  if (v.kind != json::Value::Kind::kObject) {
+    fail("histogram \"" + name + "\" must be an object");
+  }
+  json::require_exact_keys(v, {"count", "sum", "min", "max", "buckets"},
+                           "histogram \"" + name + "\"", kSchemaContext);
+  HistogramSnapshot h;
+  h.count = json::get_u64(v, "count", kSchemaContext);
+  h.sum = json::get_u64(v, "sum", kSchemaContext);
+
+  const auto extremum = [&](const char* key) -> std::uint64_t {
+    const json::Value& e = json::member(v, key, kSchemaContext);
+    if (e.kind == json::Value::Kind::kNull) {
+      if (h.count != 0) {
+        fail("histogram \"" + name + "\": \"" + key +
+             "\" must be a number when count > 0");
+      }
+      return 0;
+    }
+    if (h.count == 0) {
+      fail("histogram \"" + name + "\": \"" + key +
+           "\" must be null when count == 0");
+    }
+    return json::as_u64(e, "histogram \"" + name + "\" " + key,
+                        kSchemaContext);
+  };
+  h.min = extremum("min");
+  h.max = extremum("max");
+  if (h.count != 0 && h.min > h.max) {
+    fail("histogram \"" + name + "\": min exceeds max");
+  }
+
+  const json::Value& buckets = json::member(v, "buckets", kSchemaContext);
+  if (buckets.kind != json::Value::Kind::kArray) {
+    fail("histogram \"" + name + "\": \"buckets\" must be an array");
+  }
+  std::int64_t prev = -1;
+  for (const json::Value& entry : buckets.items) {
+    if (entry.kind != json::Value::Kind::kArray || entry.items.size() != 2) {
+      fail("histogram \"" + name +
+           "\": bucket entries must be [index, count] pairs");
+    }
+    const std::uint64_t index = json::as_u64(
+        entry.items[0], "histogram \"" + name + "\" bucket index",
+        kSchemaContext);
+    const std::uint64_t count = json::as_u64(
+        entry.items[1], "histogram \"" + name + "\" bucket count",
+        kSchemaContext);
+    if (index > 64) {
+      fail("histogram \"" + name + "\": bucket index out of range");
+    }
+    if (count == 0) {
+      fail("histogram \"" + name + "\": bucket count must be positive");
+    }
+    if (static_cast<std::int64_t>(index) <= prev) {
+      fail("histogram \"" + name + "\": bucket indexes must be ascending");
+    }
+    prev = static_cast<std::int64_t>(index);
+    h.buckets.emplace_back(static_cast<std::uint32_t>(index), count);
+  }
+  if (h.count == 0 && !h.buckets.empty()) {
+    fail("histogram \"" + name + "\": count == 0 with non-empty buckets");
+  }
+  return h;
+}
+
+MetricsSnapshot parse_impl(std::string_view line) {
+  const json::Value root = json::parse(line, kParseContext);
+  if (root.kind != json::Value::Kind::kObject) {
+    fail("document must be an object");
+  }
+  json::require_exact_keys(root,
+                           {"schema_version", "seq", "elapsed_seconds",
+                            "process", "counters", "gauges", "histograms"},
+                           "snapshot", kSchemaContext);
+  if (json::get_u64(root, "schema_version", kSchemaContext) !=
+      static_cast<std::uint64_t>(MetricsSnapshot::kSchemaVersion)) {
+    fail("unsupported schema_version (expected " +
+         std::to_string(MetricsSnapshot::kSchemaVersion) + ")");
+  }
+
+  MetricsSnapshot snap;
+  snap.seq = json::get_u64(root, "seq", kSchemaContext);
+  snap.elapsed_seconds =
+      json::get_number(root, "elapsed_seconds", false, kSchemaContext);
+  if (!(snap.elapsed_seconds >= 0.0)) {
+    fail("\"elapsed_seconds\" must be non-negative");
+  }
+
+  const json::Value& process = json::member(root, "process", kSchemaContext);
+  if (process.kind != json::Value::Kind::kObject) {
+    fail("\"process\" must be an object");
+  }
+  json::require_exact_keys(
+      process, {"peak_rss_bytes", "minor_page_faults", "major_page_faults"},
+      "process", kSchemaContext);
+  snap.peak_rss_bytes = json::get_u64(process, "peak_rss_bytes",
+                                      kSchemaContext);
+  snap.minor_page_faults =
+      json::get_u64(process, "minor_page_faults", kSchemaContext);
+  snap.major_page_faults =
+      json::get_u64(process, "major_page_faults", kSchemaContext);
+
+  for (const auto& [name, value] : metric_map(root, "counters").members) {
+    snap.counters.emplace_back(
+        name, json::as_u64(value, "counter \"" + name + "\"", kSchemaContext));
+  }
+  for (const auto& [name, value] : metric_map(root, "gauges").members) {
+    if (value.kind == json::Value::Kind::kNull) {
+      snap.gauges.emplace_back(name, std::nan(""));
+      continue;
+    }
+    if (value.kind != json::Value::Kind::kNumber) {
+      fail("gauge \"" + name + "\" must be a number");
+    }
+    double v = 0.0;
+    std::istringstream(value.text) >> v;
+    snap.gauges.emplace_back(name, v);
+  }
+  for (const auto& [name, value] : metric_map(root, "histograms").members) {
+    snap.histograms.emplace_back(name, parse_histogram(name, value));
+  }
+  return snap;
+}
+
+}  // namespace
+
+std::string to_jsonl(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"schema_version\":" << MetricsSnapshot::kSchemaVersion
+      << ",\"seq\":" << snapshot.seq
+      << ",\"elapsed_seconds\":" << json::number(snapshot.elapsed_seconds)
+      << ",\"process\":{\"peak_rss_bytes\":" << snapshot.peak_rss_bytes
+      << ",\"minor_page_faults\":" << snapshot.minor_page_faults
+      << ",\"major_page_faults\":" << snapshot.major_page_faults << "}";
+
+  out << ",\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out << ',';
+    out << json::quote(snapshot.counters[i].first) << ':'
+        << snapshot.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i != 0) out << ',';
+    out << json::quote(snapshot.gauges[i].first) << ':'
+        << json::number(snapshot.gauges[i].second);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i != 0) out << ',';
+    const auto& [name, h] = snapshot.histograms[i];
+    out << json::quote(name) << ":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"min\":";
+    if (h.count == 0) {
+      out << "null";
+    } else {
+      out << h.min;
+    }
+    out << ",\"max\":";
+    if (h.count == 0) {
+      out << "null";
+    } else {
+      out << h.max;
+    }
+    out << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) out << ',';
+      out << '[' << h.buckets[b].first << ',' << h.buckets[b].second << ']';
+    }
+    out << "]}";
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+MetricsSnapshot parse_metrics_snapshot(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  try {
+    return parse_impl(line);
+  } catch (const json::ParseError& e) {
+    throw MetricsError(e.what());
+  }
+}
+
+std::vector<MetricsSnapshot> read_metrics_jsonl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw MetricsError("metrics file: cannot open " + path);
+  std::vector<MetricsSnapshot> snapshots;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    try {
+      snapshots.push_back(parse_metrics_snapshot(line));
+    } catch (const MetricsError& e) {
+      throw MetricsError(path + ": line " + std::to_string(line_number) +
+                         ": " + e.what());
+    }
+  }
+  if (in.bad()) throw MetricsError("metrics file: read failed: " + path);
+  return snapshots;
+}
+
+}  // namespace frontier

@@ -1,0 +1,53 @@
+// Schema-versioned JSONL rendering of MetricsSnapshot.
+//
+// One snapshot = one line of compact JSON (no newlines inside), so a live
+// crawl appends to a .jsonl file that is greppable mid-run and parseable
+// as a whole afterwards. Same discipline as stats/bench_report.*: the
+// parser accepts exactly what the writer emits — unknown keys, missing
+// keys, wrong types, out-of-range buckets are all schema errors — so a
+// metrics file that parses is a file `frontier_cli metrics-summary` and
+// CI can trust.
+//
+// Line layout (schema version 1):
+//   {"schema_version":1,"seq":N,"elapsed_seconds":X,
+//    "process":{"peak_rss_bytes":N,"minor_page_faults":N,
+//               "major_page_faults":N},
+//    "counters":{"name":N,...},"gauges":{"name":X,...},
+//    "histograms":{"name":{"count":N,"sum":N,"min":N|null,"max":N|null,
+//                          "buckets":[[bucket,count],...]},...}}
+// Counter values are exact uint64; gauge values are shortest-round-trip
+// doubles (non-finite -> null); histogram buckets are sparse, strictly
+// ascending, with positive counts; min/max are null iff count == 0.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace frontier {
+
+/// Schema violation or malformed JSON in a metrics snapshot / JSONL file;
+/// .what() names the offending key (and, for files, the 1-based line).
+class MetricsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One line of compact JSON, trailing '\n' included.
+[[nodiscard]] std::string to_jsonl(const MetricsSnapshot& snapshot);
+
+/// Inverse of to_jsonl (the trailing newline is optional); throws
+/// MetricsError on any deviation from the schema.
+[[nodiscard]] MetricsSnapshot parse_metrics_snapshot(std::string_view line);
+
+/// Parses every line of a JSONL metrics file. Throws MetricsError naming
+/// the 1-based line number on the first malformed/garbage line (blank
+/// lines included — a truncated write must not validate), or on I/O
+/// failure. An empty file yields an empty vector.
+[[nodiscard]] std::vector<MetricsSnapshot> read_metrics_jsonl(
+    const std::string& path);
+
+}  // namespace frontier

@@ -1,14 +1,12 @@
 #include "stats/bench_report.hpp"
 
 #include <bit>
-#include <charconv>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "core/version.hpp"
+#include "stats/json.hpp"
 
 namespace frontier {
 
@@ -28,343 +26,86 @@ std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) noexcept {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Writing
+// JSON mechanics live in stats/json.*; this file only knows the schema.
+// The contexts reproduce the historic error prefixes ("bench report:
+// invalid JSON at offset ...", "bench report schema: ...").
+constexpr std::string_view kParseContext = "bench report";
+constexpr std::string_view kSchemaContext = "bench report schema";
 
-/// Shortest round-trip decimal for a finite double; JSON null otherwise.
-std::string json_number(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
-  return std::string(buf, res.ptr);
-}
+BenchReport parse_json_impl(std::string_view text) {
+  const json::Value root = json::parse(text, kParseContext);
+  if (root.kind != json::Value::Kind::kObject) {
+    json::schema_fail(kSchemaContext, "document must be an object");
+  }
+  json::require_exact_keys(
+      root,
+      {"schema_version", "name", "library_version", "config",
+       "config_fingerprint", "wall_time_seconds", "metrics"},
+      "report", kSchemaContext);
+  if (json::get_u64(root, "schema_version", kSchemaContext) !=
+      static_cast<std::uint64_t>(BenchReport::kSchemaVersion)) {
+    json::schema_fail(kSchemaContext,
+                      "unsupported schema_version (expected " +
+                          std::to_string(BenchReport::kSchemaVersion) + ")");
+  }
 
-std::string json_string(std::string_view s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
+  BenchReport report;
+  report.name = json::get_string(root, "name", kSchemaContext);
+  report.library_version =
+      json::get_string(root, "library_version", kSchemaContext);
+
+  const json::Value& cfg = json::member(root, "config", kSchemaContext);
+  if (cfg.kind != json::Value::Kind::kObject) {
+    json::schema_fail(kSchemaContext, "\"config\" must be an object");
+  }
+  json::require_exact_keys(
+      cfg, {"runs_multiplier", "scale_multiplier", "threads", "seed"},
+      "config", kSchemaContext);
+  report.config.runs_multiplier =
+      json::get_number(cfg, "runs_multiplier", false, kSchemaContext);
+  report.config.scale_multiplier =
+      json::get_number(cfg, "scale_multiplier", false, kSchemaContext);
+  report.config.threads = static_cast<std::size_t>(
+      json::get_u64(cfg, "threads", kSchemaContext));
+  report.config.seed = json::get_u64(cfg, "seed", kSchemaContext);
+
+  report.wall_time_seconds =
+      json::get_number(root, "wall_time_seconds", false, kSchemaContext);
+  if (report.wall_time_seconds < 0.0) {
+    json::schema_fail(kSchemaContext,
+                      "\"wall_time_seconds\" must be non-negative");
+  }
+
+  const json::Value& metrics = json::member(root, "metrics", kSchemaContext);
+  if (metrics.kind != json::Value::Kind::kArray) {
+    json::schema_fail(kSchemaContext, "\"metrics\" must be an array");
+  }
+  for (const json::Value& entry : metrics.items) {
+    if (entry.kind != json::Value::Kind::kObject) {
+      json::schema_fail(kSchemaContext, "metric entries must be objects");
     }
-  }
-  out += '"';
-  return out;
-}
-
-std::string hex64(std::uint64_t value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(value));
-  return buf;
-}
-
-// ---------------------------------------------------------------------------
-// Parsing: a minimal JSON reader covering exactly the documents to_json()
-// emits (objects, arrays, strings, numbers, null). Numbers keep their raw
-// text so 64-bit seeds survive the round trip exactly.
-
-struct JsonValue {
-  enum class Kind { kNull, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  std::string text;  // number: raw text; string: decoded contents
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse_document() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw BenchReportError("bench report: invalid JSON at offset " +
-                           std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
+    json::require_exact_keys(entry, {"name", "value", "unit"}, "metric",
+                             kSchemaContext);
+    BenchMetric metric;
+    metric.name = json::get_string(entry, "name", kSchemaContext);
+    metric.value = json::get_number(entry, "value", true, kSchemaContext);
+    metric.unit = json::get_string(entry, "unit", kSchemaContext);
+    if (metric.name.empty()) {
+      json::schema_fail(kSchemaContext, "metric name must be non-empty");
     }
+    report.metrics.push_back(std::move(metric));
   }
 
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
+  const std::string fingerprint =
+      json::get_string(root, "config_fingerprint", kSchemaContext);
+  if (fingerprint != json::hex64(report.config_fingerprint())) {
+    json::schema_fail(kSchemaContext,
+                      "config_fingerprint does not match name + config "
+                      "(expected " +
+                          json::hex64(report.config_fingerprint()) +
+                          ", found " + fingerprint + ")");
   }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
-      v.text = parse_string();
-      return v;
-    }
-    if (c == 'n') {
-      if (text_.substr(pos_, 4) != "null") fail("unknown literal");
-      pos_ += 4;
-      return JsonValue{};
-    }
-    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
-    fail("unexpected character");
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.members.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.items.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  void append_utf8(std::string& out, unsigned code) {
-    if (code < 0x80) {
-      out += static_cast<char>(code);
-    } else if (code < 0x800) {
-      out += static_cast<char>(0xc0 | (code >> 6));
-      out += static_cast<char>(0x80 | (code & 0x3f));
-    } else if (code < 0x10000) {
-      out += static_cast<char>(0xe0 | (code >> 12));
-      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-      out += static_cast<char>(0x80 | (code & 0x3f));
-    } else {
-      out += static_cast<char>(0xf0 | (code >> 18));
-      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
-      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-      out += static_cast<char>(0x80 | (code & 0x3f));
-    }
-  }
-
-  unsigned parse_hex4() {
-    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-    unsigned code = 0;
-    for (int i = 0; i < 4; ++i) {
-      const char c = text_[pos_++];
-      code <<= 4;
-      if (c >= '0' && c <= '9') {
-        code |= static_cast<unsigned>(c - '0');
-      } else if (c >= 'a' && c <= 'f') {
-        code |= static_cast<unsigned>(c - 'a' + 10);
-      } else if (c >= 'A' && c <= 'F') {
-        code |= static_cast<unsigned>(c - 'A' + 10);
-      } else {
-        fail("bad \\u escape digit");
-      }
-    }
-    return code;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) {
-        fail("unescaped control character");
-      }
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("truncated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          unsigned code = parse_hex4();
-          if (code >= 0xd800 && code <= 0xdbff) {
-            // High surrogate: must be followed by \uDC00..\uDFFF.
-            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
-                text_[pos_ + 1] != 'u') {
-              fail("lone high surrogate");
-            }
-            pos_ += 2;
-            const unsigned low = parse_hex4();
-            if (low < 0xdc00 || low > 0xdfff) fail("bad low surrogate");
-            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
-          } else if (code >= 0xdc00 && code <= 0xdfff) {
-            fail("lone low surrogate");
-          }
-          append_utf8(out, code);
-          break;
-        }
-        default:
-          fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.text = std::string(text_.substr(start, pos_ - start));
-    double probe = 0.0;
-    const auto res =
-        std::from_chars(v.text.data(), v.text.data() + v.text.size(), probe);
-    if (res.ec != std::errc{} || res.ptr != v.text.data() + v.text.size()) {
-      fail("malformed number");
-    }
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Schema validation helpers: every accessor names the key it was asked for
-// in its error message, so a CI failure pinpoints the offending field.
-
-[[noreturn]] void schema_fail(const std::string& why) {
-  throw BenchReportError("bench report schema: " + why);
-}
-
-const JsonValue& member(const JsonValue& obj, const std::string& key) {
-  for (const auto& [k, v] : obj.members) {
-    if (k == key) return v;
-  }
-  schema_fail("missing key \"" + key + "\"");
-}
-
-void require_exact_keys(const JsonValue& obj,
-                        const std::vector<std::string>& keys,
-                        const std::string& where) {
-  for (const auto& [k, v] : obj.members) {
-    (void)v;
-    bool known = false;
-    for (const std::string& key : keys) known = known || key == k;
-    if (!known) schema_fail("unknown key \"" + k + "\" in " + where);
-  }
-  for (const std::string& key : keys) (void)member(obj, key);
-  if (obj.members.size() != keys.size()) {
-    schema_fail("duplicate keys in " + where);
-  }
-}
-
-std::string get_string(const JsonValue& obj, const std::string& key) {
-  const JsonValue& v = member(obj, key);
-  if (v.kind != JsonValue::Kind::kString) {
-    schema_fail("\"" + key + "\" must be a string");
-  }
-  return v.text;
-}
-
-/// Finite number, or NaN when the value is JSON null (how non-finite
-/// metric values are serialized).
-double get_number(const JsonValue& obj, const std::string& key,
-                  bool allow_null) {
-  const JsonValue& v = member(obj, key);
-  if (v.kind == JsonValue::Kind::kNull) {
-    if (allow_null) return std::nan("");
-    schema_fail("\"" + key + "\" must be a number");
-  }
-  if (v.kind != JsonValue::Kind::kNumber) {
-    schema_fail("\"" + key + "\" must be a number");
-  }
-  double value = 0.0;
-  (void)std::from_chars(v.text.data(), v.text.data() + v.text.size(), value);
-  return value;
-}
-
-std::uint64_t get_u64(const JsonValue& obj, const std::string& key) {
-  const JsonValue& v = member(obj, key);
-  if (v.kind != JsonValue::Kind::kNumber ||
-      v.text.find_first_not_of("0123456789") != std::string::npos) {
-    schema_fail("\"" + key + "\" must be an unsigned integer");
-  }
-  std::uint64_t value = 0;
-  const auto res =
-      std::from_chars(v.text.data(), v.text.data() + v.text.size(), value);
-  if (res.ec != std::errc{}) {
-    schema_fail("\"" + key + "\" out of 64-bit range");
-  }
-  return value;
+  return report;
 }
 
 }  // namespace
@@ -400,26 +141,26 @@ std::string BenchReport::to_json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"schema_version\": " << kSchemaVersion << ",\n";
-  out << "  \"name\": " << json_string(name) << ",\n";
-  out << "  \"library_version\": " << json_string(library_version) << ",\n";
+  out << "  \"name\": " << json::quote(name) << ",\n";
+  out << "  \"library_version\": " << json::quote(library_version) << ",\n";
   out << "  \"config\": {\n";
-  out << "    \"runs_multiplier\": " << json_number(config.runs_multiplier)
+  out << "    \"runs_multiplier\": " << json::number(config.runs_multiplier)
       << ",\n";
-  out << "    \"scale_multiplier\": " << json_number(config.scale_multiplier)
+  out << "    \"scale_multiplier\": " << json::number(config.scale_multiplier)
       << ",\n";
   out << "    \"threads\": " << config.threads << ",\n";
   out << "    \"seed\": " << config.seed << "\n";
   out << "  },\n";
-  out << "  \"config_fingerprint\": " << json_string(hex64(config_fingerprint()))
-      << ",\n";
-  out << "  \"wall_time_seconds\": " << json_number(wall_time_seconds)
+  out << "  \"config_fingerprint\": "
+      << json::quote(json::hex64(config_fingerprint())) << ",\n";
+  out << "  \"wall_time_seconds\": " << json::number(wall_time_seconds)
       << ",\n";
   out << "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n");
-    out << "    {\"name\": " << json_string(metrics[i].name)
-        << ", \"value\": " << json_number(metrics[i].value)
-        << ", \"unit\": " << json_string(metrics[i].unit) << "}";
+    out << "    {\"name\": " << json::quote(metrics[i].name)
+        << ", \"value\": " << json::number(metrics[i].value)
+        << ", \"unit\": " << json::quote(metrics[i].unit) << "}";
   }
   out << (metrics.empty() ? "]\n" : "\n  ]\n");
   out << "}\n";
@@ -427,65 +168,11 @@ std::string BenchReport::to_json() const {
 }
 
 BenchReport BenchReport::parse_json(std::string_view text) {
-  const JsonValue root = JsonParser(text).parse_document();
-  if (root.kind != JsonValue::Kind::kObject) {
-    schema_fail("document must be an object");
+  try {
+    return parse_json_impl(text);
+  } catch (const json::ParseError& e) {
+    throw BenchReportError(e.what());
   }
-  require_exact_keys(root,
-                     {"schema_version", "name", "library_version", "config",
-                      "config_fingerprint", "wall_time_seconds", "metrics"},
-                     "report");
-  if (get_u64(root, "schema_version") != kSchemaVersion) {
-    schema_fail("unsupported schema_version (expected " +
-                std::to_string(kSchemaVersion) + ")");
-  }
-
-  BenchReport report;
-  report.name = get_string(root, "name");
-  report.library_version = get_string(root, "library_version");
-
-  const JsonValue& cfg = member(root, "config");
-  if (cfg.kind != JsonValue::Kind::kObject) {
-    schema_fail("\"config\" must be an object");
-  }
-  require_exact_keys(
-      cfg, {"runs_multiplier", "scale_multiplier", "threads", "seed"},
-      "config");
-  report.config.runs_multiplier = get_number(cfg, "runs_multiplier", false);
-  report.config.scale_multiplier = get_number(cfg, "scale_multiplier", false);
-  report.config.threads =
-      static_cast<std::size_t>(get_u64(cfg, "threads"));
-  report.config.seed = get_u64(cfg, "seed");
-
-  report.wall_time_seconds = get_number(root, "wall_time_seconds", false);
-  if (report.wall_time_seconds < 0.0) {
-    schema_fail("\"wall_time_seconds\" must be non-negative");
-  }
-
-  const JsonValue& metrics = member(root, "metrics");
-  if (metrics.kind != JsonValue::Kind::kArray) {
-    schema_fail("\"metrics\" must be an array");
-  }
-  for (const JsonValue& entry : metrics.items) {
-    if (entry.kind != JsonValue::Kind::kObject) {
-      schema_fail("metric entries must be objects");
-    }
-    require_exact_keys(entry, {"name", "value", "unit"}, "metric");
-    BenchMetric metric;
-    metric.name = get_string(entry, "name");
-    metric.value = get_number(entry, "value", true);
-    metric.unit = get_string(entry, "unit");
-    if (metric.name.empty()) schema_fail("metric name must be non-empty");
-    report.metrics.push_back(std::move(metric));
-  }
-
-  const std::string fingerprint = get_string(root, "config_fingerprint");
-  if (fingerprint != hex64(report.config_fingerprint())) {
-    schema_fail("config_fingerprint does not match name + config (expected " +
-                hex64(report.config_fingerprint()) + ", found " +
-                fingerprint + ")");
-  }
-  return report;
 }
 
 void BenchReport::write_file(const std::string& path) const {

@@ -1,0 +1,340 @@
+#include "stats/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace frontier::json {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string_view context)
+      : text_(text), context_(context) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError(std::string(context_) + ": invalid JSON at offset " +
+                     std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Value v;
+      v.kind = Value::Kind::kString;
+      v.text = parse_string();
+      return v;
+    }
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") fail("unknown literal");
+      pos_ += 4;
+      return Value{};
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("lone high surrogate");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.text = std::string(text_.substr(start, pos_ - start));
+    double probe = 0.0;
+    const auto res =
+        std::from_chars(v.text.data(), v.text.data() + v.text.size(), probe);
+    if (res.ec != std::errc{} || res.ptr != v.text.data() + v.text.size()) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::string_view context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text, std::string_view context) {
+  return Parser(text, context).parse_document();
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+std::string quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+void schema_fail(std::string_view context, const std::string& why) {
+  throw ParseError(std::string(context) + ": " + why);
+}
+
+const Value& member(const Value& obj, const std::string& key,
+                    std::string_view context) {
+  for (const auto& [k, v] : obj.members) {
+    if (k == key) return v;
+  }
+  schema_fail(context, "missing key \"" + key + "\"");
+}
+
+void require_exact_keys(const Value& obj, const std::vector<std::string>& keys,
+                        const std::string& where, std::string_view context) {
+  for (const auto& [k, v] : obj.members) {
+    (void)v;
+    bool known = false;
+    for (const std::string& key : keys) known = known || key == k;
+    if (!known) schema_fail(context, "unknown key \"" + k + "\" in " + where);
+  }
+  for (const std::string& key : keys) (void)member(obj, key, context);
+  if (obj.members.size() != keys.size()) {
+    schema_fail(context, "duplicate keys in " + where);
+  }
+}
+
+std::string get_string(const Value& obj, const std::string& key,
+                       std::string_view context) {
+  const Value& v = member(obj, key, context);
+  if (v.kind != Value::Kind::kString) {
+    schema_fail(context, "\"" + key + "\" must be a string");
+  }
+  return v.text;
+}
+
+double get_number(const Value& obj, const std::string& key, bool allow_null,
+                  std::string_view context) {
+  const Value& v = member(obj, key, context);
+  if (v.kind == Value::Kind::kNull) {
+    if (allow_null) return std::nan("");
+    schema_fail(context, "\"" + key + "\" must be a number");
+  }
+  if (v.kind != Value::Kind::kNumber) {
+    schema_fail(context, "\"" + key + "\" must be a number");
+  }
+  double value = 0.0;
+  (void)std::from_chars(v.text.data(), v.text.data() + v.text.size(), value);
+  return value;
+}
+
+std::uint64_t as_u64(const Value& v, const std::string& what,
+                     std::string_view context) {
+  if (v.kind != Value::Kind::kNumber ||
+      v.text.find_first_not_of("0123456789") != std::string::npos) {
+    schema_fail(context, what + " must be an unsigned integer");
+  }
+  std::uint64_t value = 0;
+  const auto res =
+      std::from_chars(v.text.data(), v.text.data() + v.text.size(), value);
+  if (res.ec != std::errc{}) {
+    schema_fail(context, what + " out of 64-bit range");
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const Value& obj, const std::string& key,
+                      std::string_view context) {
+  return as_u64(member(obj, key, context), "\"" + key + "\"", context);
+}
+
+}  // namespace frontier::json

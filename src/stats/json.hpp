@@ -1,0 +1,83 @@
+// Minimal JSON reader/writer shared by the schema-validated telemetry
+// formats (stats/bench_report.* and obs/snapshot.*).
+//
+// The reader covers exactly the documents our writers emit — objects,
+// arrays, strings, numbers, null — and keeps each number's raw text so
+// 64-bit integers survive the round trip exactly. Every entry point takes
+// a `context` string that prefixes error messages, so callers can wrap
+// ParseError into their own schema-error types without losing the
+// "which format, which key" diagnostics CI depends on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace frontier::json {
+
+/// Malformed JSON or a schema violation; .what() carries the caller's
+/// context prefix and names the offending key or offset.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Value {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  std::string text;  // number: raw text; string: decoded contents
+  std::vector<Value> items;
+  std::vector<std::pair<std::string, Value>> members;
+};
+
+/// Parses one complete document; trailing characters are an error.
+/// Throws ParseError("<context>: invalid JSON at offset N: why").
+[[nodiscard]] Value parse(std::string_view text, std::string_view context);
+
+// ---------------------------------------------------------------------------
+// Writer helpers.
+
+/// Shortest round-trip decimal for a finite double; "null" otherwise.
+[[nodiscard]] std::string number(double value);
+
+/// Escapes and double-quotes a string.
+[[nodiscard]] std::string quote(std::string_view s);
+
+/// "0x%016llx" — the fingerprint rendering shared by every schema.
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+// ---------------------------------------------------------------------------
+// Schema accessors. Each throws ParseError("<context>: ...") naming the
+// key it was asked for, so a CI failure pinpoints the offending field.
+// `context` is typically "<format> schema".
+
+[[noreturn]] void schema_fail(std::string_view context, const std::string& why);
+
+/// Member lookup; missing keys are schema errors.
+[[nodiscard]] const Value& member(const Value& obj, const std::string& key,
+                                  std::string_view context);
+
+/// Requires obj's member set to be exactly `keys` (no unknowns, no
+/// duplicates, nothing missing). `where` names the object in messages.
+void require_exact_keys(const Value& obj, const std::vector<std::string>& keys,
+                        const std::string& where, std::string_view context);
+
+[[nodiscard]] std::string get_string(const Value& obj, const std::string& key,
+                                     std::string_view context);
+
+/// Finite number, or NaN when the value is JSON null and `allow_null` —
+/// how non-finite metric values are serialized.
+[[nodiscard]] double get_number(const Value& obj, const std::string& key,
+                                bool allow_null, std::string_view context);
+
+[[nodiscard]] std::uint64_t get_u64(const Value& obj, const std::string& key,
+                                    std::string_view context);
+
+/// Unsigned integer from a bare Value (array elements, not object members).
+[[nodiscard]] std::uint64_t as_u64(const Value& v, const std::string& what,
+                                   std::string_view context);
+
+}  // namespace frontier::json

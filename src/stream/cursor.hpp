@@ -95,6 +95,14 @@ class SamplerCursor {
 
   [[nodiscard]] virtual CursorKind kind() const noexcept = 0;
 
+  /// Number of concurrently maintained walkers: the live frontier size for
+  /// FS, the number of not-yet-exhausted walkers for MultipleRW, 1 for the
+  /// single-walker cursors. Telemetry-only — reading it never advances the
+  /// crawl or touches the RNG.
+  [[nodiscard]] virtual std::size_t active_walkers() const noexcept {
+    return 1;
+  }
+
   /// The graph being crawled. Checkpoints fingerprint it (|V| and volume)
   /// so a resume against a different graph fails loudly.
   [[nodiscard]] virtual const Graph& graph() const noexcept = 0;

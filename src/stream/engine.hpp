@@ -24,6 +24,8 @@
 
 namespace frontier {
 
+class CrawlInstrumentation;
+
 class StreamEngine {
  public:
   /// `block_capacity` sets the refill granularity of the internal event
@@ -57,11 +59,27 @@ class StreamEngine {
   void save_checkpoint_file(const std::string& path) const;
   void load_checkpoint_file(const std::string& path);
 
+  /// Attaches (or detaches, with nullptr) telemetry. The instrumentation
+  /// is an outside observer: with it attached, pump() issues the same
+  /// next_batch / ingest_block calls in the same order with the same
+  /// arguments, so the crawl is bit-identical to an uninstrumented one —
+  /// only wall-clock reads and metric stores are added around the calls.
+  /// The caller keeps `instr` alive for the engine's lifetime.
+  void set_instrumentation(CrawlInstrumentation* instr) noexcept {
+    instr_ = instr;
+  }
+  [[nodiscard]] CrawlInstrumentation* instrumentation() const noexcept {
+    return instr_;
+  }
+
  private:
+  std::uint64_t pump_instrumented(std::uint64_t max_events);
+
   std::unique_ptr<SamplerCursor> cursor_;
   SinkSet sinks_;
   StreamEventBlock block_;
   std::uint64_t events_ = 0;
+  CrawlInstrumentation* instr_ = nullptr;
 };
 
 }  // namespace frontier

@@ -62,6 +62,9 @@ class FrontierCursor final : public SamplerCursor {
   }
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
+  [[nodiscard]] std::size_t active_walkers() const noexcept override {
+    return frontier_.size();
+  }
 
   /// Current walker positions (the frontier L of Algorithm 1).
   [[nodiscard]] const std::vector<VertexId>& frontier() const noexcept {
@@ -155,6 +158,11 @@ class MultipleRwCursor final : public SamplerCursor {
   }
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
+  /// Walkers that still have steps to take (walkers run back to back, so
+  /// at most one is mid-walk; the rest are waiting to start).
+  [[nodiscard]] std::size_t active_walkers() const noexcept override {
+    return config_.num_walkers - walker_;
+  }
 
  private:
   const Graph* graph_;

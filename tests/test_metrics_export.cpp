@@ -1,0 +1,195 @@
+// JSONL snapshot schema: writer/parser round trip, exporter cadence and
+// failure modes (unwritable path => IoError; truncated or garbage lines
+// rejected with their 1-based line number).
+#include "obs/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/io.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+
+namespace frontier {
+namespace {
+
+/// Self-deleting temp path under the build tree.
+class TempFile {
+ public:
+  explicit TempFile(std::string name) : path_(std::move(name)) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  void write(const std::string& contents) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+ private:
+  std::string path_;
+};
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+  snap.seq = 3;
+  snap.elapsed_seconds = 1.25;
+  snap.peak_rss_bytes = 123456789;
+  snap.minor_page_faults = 42;
+  snap.major_page_faults = 1;
+  snap.counters = {{"stream.events_total", 1000},
+                   {"stream.blocks_total", ~std::uint64_t{0}}};
+  snap.gauges = {{"stream.active_walkers", 100.0},
+                 {"negative", -0.5},
+                 {"tiny", 1e-300}};
+  HistogramSnapshot empty;
+  HistogramSnapshot filled;
+  filled.count = 7;
+  filled.sum = 521;
+  filled.min = 0;
+  filled.max = 256;
+  filled.buckets = {{0, 1}, {1, 1}, {2, 2}, {3, 1}, {8, 1}, {9, 1}};
+  snap.histograms = {{"empty_hist", empty}, {"filled_hist", filled}};
+  return snap;
+}
+
+TEST(MetricsJsonl, RoundTripsExactly) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const std::string line = to_jsonl(snap);
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << "must be a single line";
+  EXPECT_EQ(parse_metrics_snapshot(line), snap);
+}
+
+TEST(MetricsJsonl, NonFiniteGaugeBecomesNull) {
+  MetricsSnapshot snap = sample_snapshot();
+  snap.gauges = {{"inf", std::numeric_limits<double>::infinity()}};
+  const std::string line = to_jsonl(snap);
+  EXPECT_NE(line.find("\"inf\":null"), std::string::npos);
+  const MetricsSnapshot back = parse_metrics_snapshot(line);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_TRUE(std::isnan(back.gauges[0].second));
+}
+
+TEST(MetricsJsonl, RejectsSchemaViolations) {
+  const std::string good = to_jsonl(sample_snapshot());
+  // Each mutation must fail with a MetricsError naming the schema context.
+  EXPECT_THROW((void)parse_metrics_snapshot("not json"), MetricsError);
+  EXPECT_THROW((void)parse_metrics_snapshot("{}"), MetricsError);
+  EXPECT_THROW((void)parse_metrics_snapshot(good.substr(0, good.size() / 2)),
+               MetricsError);
+  std::string wrong_version = good;
+  wrong_version.replace(wrong_version.find(":1,"), 3, ":9,");
+  EXPECT_THROW((void)parse_metrics_snapshot(wrong_version), MetricsError);
+  std::string extra_key = good;
+  extra_key.insert(1, "\"unknown\":1,");
+  EXPECT_THROW((void)parse_metrics_snapshot(extra_key), MetricsError);
+  try {
+    (void)parse_metrics_snapshot("{}");
+    FAIL() << "expected MetricsError";
+  } catch (const MetricsError& e) {
+    EXPECT_NE(std::string(e.what()).find("metrics snapshot"),
+              std::string::npos);
+  }
+}
+
+TEST(MetricsJsonl, RejectsHistogramInconsistencies) {
+  // min/max must be null iff count == 0, buckets strictly ascending with
+  // positive counts and indexes <= 64.
+  const auto mutate = [](const std::string& from, const std::string& to) {
+    MetricsSnapshot snap = sample_snapshot();
+    std::string line = to_jsonl(snap);
+    const auto pos = line.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    line.replace(pos, from.size(), to);
+    EXPECT_THROW((void)parse_metrics_snapshot(line), MetricsError) << to;
+  };
+  mutate("\"count\":0,\"sum\":0,\"min\":null",
+         "\"count\":0,\"sum\":0,\"min\":3");
+  mutate("\"count\":7,\"sum\":521,\"min\":0",
+         "\"count\":7,\"sum\":521,\"min\":null");
+  mutate("[[0,1],[1,1]", "[[1,1],[0,1]");   // not ascending
+  mutate("[[0,1],[1,1]", "[[0,0],[1,1]");   // zero count
+  mutate("[[0,1],[1,1]", "[[65,1],[1,1]");  // index out of range
+}
+
+TEST(MetricsJsonl, FileErrorsNameTheLine) {
+  TempFile file("metrics_export_lines.jsonl");
+  const std::string good = to_jsonl(sample_snapshot());
+
+  file.write(good + "garbage\n");
+  try {
+    (void)read_metrics_jsonl(file.path());
+    FAIL() << "expected MetricsError";
+  } catch (const MetricsError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+
+  // A blank line is a truncated/corrupt write, not padding.
+  file.write(good + "\n" + good);
+  EXPECT_THROW((void)read_metrics_jsonl(file.path()), MetricsError);
+
+  // A half-written final line (crash mid-append) must not validate.
+  file.write(good + good.substr(0, good.size() / 3));
+  try {
+    (void)read_metrics_jsonl(file.path());
+    FAIL() << "expected MetricsError";
+  } catch (const MetricsError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+
+  file.write("");
+  EXPECT_TRUE(read_metrics_jsonl(file.path()).empty());
+
+  EXPECT_THROW((void)read_metrics_jsonl("no_such_dir/none.jsonl"),
+               MetricsError);
+}
+
+TEST(MetricsExporter, WritesStampedSequentialLines) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("c");
+  TempFile file("metrics_export_seq.jsonl");
+  MetricsExporter exporter(reg, file.path(), /*interval_seconds=*/0.0);
+  c.add(1);
+  exporter.export_now();
+  c.add(1);
+  exporter.export_now();
+  EXPECT_TRUE(exporter.maybe_export());  // interval 0: always due
+  EXPECT_EQ(exporter.lines_written(), 3u);
+
+  const auto snapshots = read_metrics_jsonl(file.path());
+  ASSERT_EQ(snapshots.size(), 3u);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].seq, i);
+  }
+  EXPECT_LE(snapshots[0].elapsed_seconds, snapshots[2].elapsed_seconds);
+  EXPECT_EQ(snapshots[0].counters[0].second, 1u);
+  EXPECT_EQ(snapshots[2].counters[0].second, 2u);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(snapshots[0].peak_rss_bytes, 0u);
+#endif
+}
+
+TEST(MetricsExporter, LongIntervalExportsOnlyTheFirstCall) {
+  MetricsRegistry reg;
+  TempFile file("metrics_export_interval.jsonl");
+  MetricsExporter exporter(reg, file.path(), /*interval_seconds=*/3600.0);
+  EXPECT_TRUE(exporter.maybe_export());   // first call always exports
+  EXPECT_FALSE(exporter.maybe_export());  // next one is not due for an hour
+  EXPECT_EQ(exporter.lines_written(), 1u);
+}
+
+TEST(MetricsExporter, UnwritablePathIsCleanIoError) {
+  MetricsRegistry reg;
+  EXPECT_THROW(
+      MetricsExporter(reg, "no_such_dir/sub/metrics.jsonl", 1.0),
+      IoError);
+}
+
+}  // namespace
+}  // namespace frontier

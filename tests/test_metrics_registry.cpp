@@ -1,0 +1,242 @@
+// MetricsRegistry: bucket mapping edge cases, saturation, inert handles,
+// and the per-thread shard merge (sums, extrema, associativity across
+// shard counts).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace frontier {
+namespace {
+
+constexpr std::uint64_t kMax64 = std::numeric_limits<std::uint64_t>::max();
+
+TEST(HistogramBucket, EdgeValues) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(7), 3u);
+  EXPECT_EQ(histogram_bucket(8), 4u);
+  for (std::uint32_t k = 1; k < 64; ++k) {
+    const std::uint64_t pow = std::uint64_t{1} << k;
+    EXPECT_EQ(histogram_bucket(pow - 1), k) << "value 2^" << k << " - 1";
+    EXPECT_EQ(histogram_bucket(pow), k + 1) << "value 2^" << k;
+  }
+  EXPECT_EQ(histogram_bucket(kMax64), 64u);
+}
+
+TEST(HistogramBucket, RangeRoundTrip) {
+  // Every bucket's [lo, hi] maps back to that bucket, and ranges tile the
+  // uint64 line without gaps.
+  std::uint64_t expected_lo = 0;
+  for (std::uint32_t b = 0; b <= 64; ++b) {
+    const auto [lo, hi] = histogram_bucket_range(b);
+    EXPECT_EQ(lo, expected_lo) << "bucket " << b;
+    EXPECT_LE(lo, hi);
+    EXPECT_EQ(histogram_bucket(lo), b);
+    EXPECT_EQ(histogram_bucket(hi), b);
+    if (b == 64) {
+      EXPECT_EQ(hi, kMax64);
+    } else {
+      expected_lo = hi + 1;
+    }
+  }
+}
+
+TEST(MetricsRegistry, CountersSumAcrossAdds) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("test.counter");
+  c.add();
+  c.add(41);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "test.counter");
+  EXPECT_EQ(snap.counters[0].second, 42u);
+}
+
+TEST(MetricsRegistry, CounterSaturatesAtMax) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("sat");
+  c.add(kMax64 - 1);
+  c.add(10);
+  EXPECT_EQ(reg.snapshot().counters[0].second, kMax64);
+  c.add(1);  // must stay pinned, not wrap
+  EXPECT_EQ(reg.snapshot().counters[0].second, kMax64);
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge gauge = reg.gauge("g");
+  gauge.set(1.5);
+  gauge.set(-2.25);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -2.25);
+}
+
+TEST(MetricsRegistry, HistogramZeroObservations) {
+  MetricsRegistry reg;
+  (void)reg.histogram("empty");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& h = snap.histograms[0].second;
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.sum, 0u);
+  EXPECT_TRUE(h.buckets.empty());
+}
+
+TEST(MetricsRegistry, HistogramBucketBoundaries) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("h");
+  // One observation per boundary value; buckets must come back sparse and
+  // ascending with exactly the expected indexes.
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bucket 1
+  h.observe(2);    // bucket 2
+  h.observe(3);    // bucket 2
+  h.observe(4);    // bucket 3
+  h.observe(255);  // bucket 8
+  h.observe(256);  // bucket 9
+  const HistogramSnapshot snap = reg.snapshot().histograms[0].second;
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_EQ(snap.sum, 0u + 1 + 2 + 3 + 4 + 255 + 256);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 256u);
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>> want = {
+      {0, 1}, {1, 1}, {2, 2}, {3, 1}, {8, 1}, {9, 1}};
+  EXPECT_EQ(snap.buckets, want);
+}
+
+TEST(MetricsRegistry, HistogramSumSaturates) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("h");
+  h.observe(kMax64);
+  h.observe(kMax64);
+  const HistogramSnapshot snap = reg.snapshot().histograms[0].second;
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, kMax64);  // saturated, not wrapped to ~0
+  EXPECT_EQ(snap.min, kMax64);
+  EXPECT_EQ(snap.max, kMax64);
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>> want = {{64, 2}};
+  EXPECT_EQ(snap.buckets, want);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("same");
+  Counter b = reg.counter("same");
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(reg.num_metrics(), 1u);
+  EXPECT_EQ(reg.snapshot().counters[0].second, 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchAndBadNamesThrow) {
+  MetricsRegistry reg;
+  (void)reg.counter("name");
+  EXPECT_THROW((void)reg.histogram("name"), std::invalid_argument);
+  EXPECT_THROW((void)reg.gauge("name"), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter(""), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter("has space"), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter("quote\"inside"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, InertHandlesAreNoOps) {
+  Counter c;
+  Gauge gauge;
+  Histogram h;
+  EXPECT_FALSE(c.active());
+  EXPECT_FALSE(gauge.active());
+  EXPECT_FALSE(h.active());
+  c.add(5);
+  gauge.set(1.0);
+  h.observe(7);
+  { ScopeTimer timer(h); }  // no clock calls, no crash
+}
+
+TEST(MetricsRegistry, ScopeTimerRecordsOneObservation) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("t");
+  { ScopeTimer timer(h); }
+  const HistogramSnapshot snap = reg.snapshot().histograms[0].second;
+  EXPECT_EQ(snap.count, 1u);
+}
+
+TEST(MetricsRegistry, MergeAcrossThreads) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("threads.counter");
+  Histogram h = reg.histogram("threads.histogram");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        // Values span buckets; thread t owns the band [t*kPerThread, ...)
+        // so min/max merging is exercised across shards.
+        h.observe(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters[0].second, kThreads * kPerThread);
+  const HistogramSnapshot& hist = snap.histograms[0].second;
+  EXPECT_EQ(hist.count, kThreads * kPerThread);
+  EXPECT_EQ(hist.min, 0u);
+  EXPECT_EQ(hist.max, kThreads * kPerThread - 1);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [bucket, count] : hist.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, hist.count);
+}
+
+TEST(MetricsRegistry, MergeIsAssociativeAcrossShardCounts) {
+  // The same multiset of observations, sharded 1 way and 4 ways, must
+  // merge to the identical snapshot (registration order matches, so the
+  // whole MetricsSnapshot compares equal field for field).
+  const auto observe_all = [](MetricsRegistry& reg, int threads) {
+    Counter c = reg.counter("c");
+    Histogram h = reg.histogram("h");
+    const int total = 1 << 12;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = t; i < total; i += threads) {
+          c.add(static_cast<std::uint64_t>(i));
+          h.observe(static_cast<std::uint64_t>(i) * 37u);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  };
+
+  MetricsRegistry one;
+  MetricsRegistry four;
+  observe_all(one, 1);
+  observe_all(four, 4);
+  const MetricsSnapshot a = one.snapshot();
+  const MetricsSnapshot b = four.snapshot();
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.histograms, b.histograms);
+}
+
+TEST(MetricsRegistry, EnabledFlagTogglesGlobally) {
+  EXPECT_FALSE(metrics_enabled());  // default off
+  set_metrics_enabled(true);
+  EXPECT_TRUE(metrics_enabled());
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+}
+
+}  // namespace
+}  // namespace frontier

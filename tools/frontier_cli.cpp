@@ -25,11 +25,23 @@
 //   frontier_cli stream <edges.txt> [--method fs|srw|mrw|mh|rwj]
 //                [--budget N] [--dimension M] [--seed S] [--motifs]
 //                [--checkpoint out.ckpt] [--resume in.ckpt]
-//                [--checkpoint-every N]
+//                [--checkpoint-every N] [--metrics out.jsonl]
+//                [--metrics-every SEC] [--progress]
 //       Crawl with the streaming engine (O(1)-in-budget memory): online
 //       estimator sinks instead of a materialized sample, with optional
 //       periodic checkpoints and pause/resume. --motifs adds the full
 //       3-/4-vertex motif census sink (and its exact baseline columns).
+//       --metrics streams schema-v1 telemetry snapshots (obs/snapshot.hpp)
+//       to a JSONL file ("-" = stderr) every --metrics-every seconds
+//       (default 1); --progress traces live events/s, frontier size,
+//       revisit rate and estimate drift to stderr. Telemetry observes from
+//       outside the sampling loop: estimates, RNG stream and checkpoint
+//       bytes are bit-identical with and without it (CI compares the
+//       checkpoints byte for byte).
+//   frontier_cli metrics-summary <metrics.jsonl>...
+//       Validate metrics JSONL files (every line must round-trip the
+//       schema; truncated or garbage lines are rejected with their line
+//       number) and print per-file aggregates from the last snapshot.
 //
 //   Every subcommand that loads a graph accepts --mmap: the input must be
 //   a v2 .bin snapshot, which is served zero-copy from the page cache
@@ -92,7 +104,7 @@ struct Args {
 /// Flags that never take a value, so "--mmap graph.bin" keeps the path as
 /// a positional argument.
 bool is_boolean_flag(const std::string& key) {
-  return key == "mmap" || key == "motifs";
+  return key == "mmap" || key == "motifs" || key == "progress";
 }
 
 Args parse_args(int argc, char** argv, int first) {
@@ -266,9 +278,15 @@ int cmd_stream(const Args& args) {
     std::cerr << "usage: frontier_cli stream <edges.txt> [--method fs] "
                  "[--budget N] [--dimension M] [--seed S] [--motifs] "
                  "[--checkpoint out.ckpt] [--resume in.ckpt] "
-                 "[--checkpoint-every N]\n";
+                 "[--checkpoint-every N] [--metrics out.jsonl] "
+                 "[--metrics-every SEC] [--progress]\n";
     return 2;
   }
+  const std::string metrics_path = args.get("metrics", "");
+  const double metrics_every = args.get_num("metrics-every", 1.0);
+  const bool want_progress = args.options.count("progress") != 0;
+  // Enable the library seams (graph-load telemetry) before the graph loads.
+  if (!metrics_path.empty()) set_metrics_enabled(true);
   CrawlSetup s = crawl_setup(args);
   const Graph& g = s.graph;
   const std::string& method = s.method;
@@ -334,6 +352,20 @@ int cmd_stream(const Args& args) {
   }
   StreamEngine engine(std::move(cursor), std::move(sinks));
 
+  // Telemetry rides outside the sampling loop (see obs/crawl_metrics.hpp):
+  // attaching it never touches the RNG stream or the sink accumulators.
+  std::unique_ptr<CrawlInstrumentation> instr;
+  std::unique_ptr<MetricsExporter> exporter;
+  if (!metrics_path.empty() || want_progress) {
+    instr = std::make_unique<CrawlInstrumentation>(
+        MetricsRegistry::global(), engine.cursor(), engine.sinks());
+    engine.set_instrumentation(instr.get());
+  }
+  if (!metrics_path.empty()) {
+    exporter = std::make_unique<MetricsExporter>(MetricsRegistry::global(),
+                                                 metrics_path, metrics_every);
+  }
+
   const std::string resume = args.get("resume", "");
   if (!resume.empty()) {
     engine.load_checkpoint_file(resume);
@@ -351,6 +383,8 @@ int cmd_stream(const Args& args) {
 
   const std::uint64_t resumed_events = engine.events();
   const auto t0 = std::chrono::steady_clock::now();
+  auto last_progress = t0;
+  const double exact_deg = g.average_degree();
   while (!engine.finished()) {
     std::uint64_t chunk = kChunk;
     if (next_checkpoint != 0 && !checkpoint.empty()) {
@@ -362,12 +396,41 @@ int cmd_stream(const Args& args) {
       engine.save_checkpoint_file(checkpoint);
       next_checkpoint += checkpoint_every;
     }
+    if (exporter) exporter->maybe_export();
+    if (want_progress) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_progress).count() >= 1.0) {
+        last_progress = now;
+        const double run_seconds =
+            std::chrono::duration<double>(now - t0).count();
+        const double rate =
+            static_cast<double>(engine.events() - resumed_events) /
+            std::max(run_seconds, 1e-9);
+        const double est_deg = method == "mh" ? uniform->value()
+                                              : moments->average_degree();
+        const double drift =
+            exact_deg > 0.0 ? (est_deg - exact_deg) / exact_deg : 0.0;
+        std::cerr << "progress: events=" << engine.events() << " ("
+                  << format_number(rate) << " events/s) walkers="
+                  << engine.cursor().active_walkers() << " revisit_rate="
+                  << format_number(instr->revisit_rate())
+                  << " avg_deg_drift=" << format_number(100.0 * drift)
+                  << "%\n";
+      }
+    }
   }
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - t0;
   if (!checkpoint.empty()) {
     engine.save_checkpoint_file(checkpoint);
     std::cout << "checkpoint written to " << checkpoint << "\n";
+  }
+  if (exporter) {
+    exporter->export_now();
+    if (metrics_path != "-") {
+      std::cout << "metrics written to " << metrics_path << " ("
+                << exporter->lines_written() << " snapshots)\n";
+    }
   }
 
   std::cout << "method=" << method << " budget=" << budget
@@ -514,10 +577,60 @@ int cmd_bench_report(const Args& args) {
   return 0;
 }
 
+int cmd_metrics_summary(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: frontier_cli metrics-summary <metrics.jsonl>...\n";
+    return 2;
+  }
+  for (const std::string& path : args.positional) {
+    std::vector<MetricsSnapshot> snapshots;
+    try {
+      snapshots = read_metrics_jsonl(path);
+    } catch (const MetricsError& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+    std::cout << path << ": " << snapshots.size() << " snapshot"
+              << (snapshots.size() == 1 ? "" : "s");
+    if (snapshots.empty()) {
+      std::cout << "\n";
+      continue;
+    }
+    // Counters and histograms are cumulative, so the last snapshot is the
+    // whole run; earlier lines only add the time axis.
+    const MetricsSnapshot& last = snapshots.back();
+    std::cout << " over " << format_number(last.elapsed_seconds)
+              << " s, peak_rss="
+              << format_number(static_cast<double>(last.peak_rss_bytes) /
+                               (1024.0 * 1024.0))
+              << " MiB, page_faults=" << last.minor_page_faults << "/"
+              << last.major_page_faults << " (minor/major)\n";
+    TextTable table({"metric", "kind", "value", "count", "min", "max"});
+    for (const auto& [name, value] : last.counters) {
+      table.add_row({name, "counter", std::to_string(value), "", "", ""});
+    }
+    for (const auto& [name, value] : last.gauges) {
+      table.add_row({name, "gauge", format_number(value), "", "", ""});
+    }
+    for (const auto& [name, h] : last.histograms) {
+      const double mean =
+          h.count == 0 ? 0.0
+                       : static_cast<double>(h.sum) /
+                             static_cast<double>(h.count);
+      table.add_row({name, "histogram", format_number(mean),
+                     std::to_string(h.count),
+                     h.count == 0 ? "" : std::to_string(h.min),
+                     h.count == 0 ? "" : std::to_string(h.max)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
 void usage() {
   std::cerr << "frontier_cli "
                "<summarize|sample|stream|generate|convert|spectral|"
-               "bench-report> "
+               "bench-report|metrics-summary> "
                "[args]\n(see the header comment of tools/frontier_cli.cpp "
                "or README.md)\n";
 }
@@ -539,6 +652,7 @@ int main(int argc, char** argv) {
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "spectral") return cmd_spectral(args);
     if (cmd == "bench-report") return cmd_bench_report(args);
+    if (cmd == "metrics-summary") return cmd_metrics_summary(args);
   } catch (const IoError& e) {
     // Missing/corrupt input files and broken checkpoints: report and exit
     // nonzero instead of aborting with an uncaught exception.
