@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <array>
+#include <cassert>
 #include <stdexcept>
+#include <thread>
 
 namespace frontier {
 namespace {
@@ -43,6 +45,16 @@ struct MetricsRegistry::Shard {
   using Cell = std::atomic<std::uint64_t>;
 
   std::array<std::atomic<Cell*>, kMaxChunks> chunks{};
+#ifndef NDEBUG
+  // Single-writer invariant, machine-checked: cell() is only ever called
+  // by the thread that acquired this shard through local_shard() (which
+  // constructs the shard on the owning thread). The relaxed load+store
+  // increment in Counter::add/Histogram::observe is race-free *only*
+  // because of this — a second writer would lose increments silently, so
+  // debug builds (and the tsan preset, which builds Debug) fail loudly
+  // instead of merely documenting the claim.
+  std::thread::id owner = std::this_thread::get_id();
+#endif
 
   ~Shard() {
     for (auto& chunk : chunks) delete[] chunk.load(std::memory_order_relaxed);
@@ -50,6 +62,8 @@ struct MetricsRegistry::Shard {
 
   /// Owner-thread accessor; allocates the chunk on first touch.
   [[nodiscard]] Cell& cell(std::size_t index) noexcept {
+    assert(std::this_thread::get_id() == owner &&
+           "MetricsRegistry shard written by a non-owner thread");
     auto& slot = chunks[index >> kChunkBits];
     Cell* chunk = slot.load(std::memory_order_acquire);
     if (chunk == nullptr) {

@@ -21,7 +21,7 @@ class MetropolisHastingsWalk {
   struct Config {
     std::uint64_t steps = 0;
     StartMode start = StartMode::kUniform;
-    std::optional<VertexId> fixed_start;
+    std::optional<VertexId> fixed_start = std::nullopt;
   };
 
   MetropolisHastingsWalk(const Graph& g, Config config);

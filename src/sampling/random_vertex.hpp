@@ -14,7 +14,7 @@ class RandomVertexSampler {
   struct Config {
     double budget = 0.0;  ///< B; sampling stops when the next attempt
                           ///< cannot be paid for
-    CostModel cost;       ///< jump_cost per attempt, hit_ratio of validity
+    CostModel cost{};     ///< jump_cost per attempt, hit_ratio of validity
   };
 
   RandomVertexSampler(const Graph& g, Config config);

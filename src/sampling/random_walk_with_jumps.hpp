@@ -25,7 +25,7 @@ class RandomWalkWithJumps {
   struct Config {
     double budget = 0.0;          ///< B; steps cost 1, jumps cost c/hit
     double jump_probability = 0.15;
-    CostModel cost;               ///< jump cost model
+    CostModel cost{};             ///< jump cost model
   };
 
   RandomWalkWithJumps(const Graph& g, Config config);

@@ -14,7 +14,7 @@ class SingleRandomWalk {
   struct Config {
     std::uint64_t steps = 0;           ///< B walk steps
     StartMode start = StartMode::kUniform;
-    std::optional<VertexId> fixed_start;  ///< overrides `start` if set
+    std::optional<VertexId> fixed_start = std::nullopt;  ///< overrides `start` if set
     /// Burn-in (Section 4.3): `burn_in` additional initial walk queries are
     /// paid for and executed but their samples discarded — the classic
     /// MCMC remedy for a non-stationary start.

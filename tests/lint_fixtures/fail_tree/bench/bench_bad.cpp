@@ -1,0 +1,8 @@
+// Fixture: a bench binary that skips the session discipline — no --json,
+// no fingerprint. bench-session must flag it.
+#include <iostream>
+
+int main() {
+  std::cout << "elapsed: 1.0s\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fixture: determinism violations — each line below must be reported by
+// determinism-no-wall-clock with its exact line number.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned bad_seed() {
+  std::random_device rd;                              // line 11
+  return rd() + static_cast<unsigned>(time(nullptr)); // line 12
+}
+
+int bad_draw() { return std::rand(); }  // line 15
+
+long bad_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // 18
+}
+
+}  // namespace fixture

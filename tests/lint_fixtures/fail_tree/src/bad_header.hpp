@@ -1,0 +1,9 @@
+// Fixture: header without #pragma once — pragma-once must flag line 1.
+#ifndef FIXTURE_BAD_HEADER_HPP
+#define FIXTURE_BAD_HEADER_HPP
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif

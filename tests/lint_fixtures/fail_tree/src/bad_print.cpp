@@ -1,0 +1,13 @@
+// Fixture: stdout violations in library code — no-stdout-in-library must
+// flag both lines below.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void bad_report(int n) {
+  std::cout << "n = " << n << "\n";  // line 9
+  printf("n = %d\n", n);             // line 10
+}
+
+}  // namespace fixture

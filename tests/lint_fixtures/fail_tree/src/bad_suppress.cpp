@@ -1,0 +1,10 @@
+// Fixture: a waiver without a rationale — suppression-rationale must flag
+// it (and the underlying finding stays suppressed, so exactly one
+// diagnostic comes from line 8).
+#include <random>
+
+namespace fixture {
+
+unsigned lazy() { return std::random_device{}(); }  // lint:allow(determinism-no-wall-clock)
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a bench binary that honors the BenchSession discipline.
+// (Not compiled — fixture trees are scanned by frontier_lint tests only,
+// so the session type needs no real definition here.)
+struct BenchSession {};
+
+int main(int argc, char** argv) {
+  BenchSession session;  // stands in for bench_common::BenchSession
+  (void)session;
+  (void)argc;
+  (void)argv;
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fixture: a clean library header — #pragma once present, deterministic
+// time source, no stdout. Must produce zero findings.
+#pragma once
+
+#include <chrono>
+
+namespace fixture {
+
+using Clock = std::chrono::steady_clock;
+
+// Prose mentioning std::rand and printf in a comment must NOT trip the
+// token rules (the scrubber blanks comments before matching).
+inline long elapsed_ns(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
+}  // namespace fixture

@@ -90,40 +90,40 @@ class ScopedEnv {
 TEST(ExperimentConfig, MalformedEnvValuesThrow) {
   {
     ScopedEnv env("FS_RUNS", "banana");
-    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
-    EXPECT_THROW(env_double("FS_RUNS", 1.0), std::invalid_argument);
+    EXPECT_THROW((void)ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW((void)env_double("FS_RUNS", 1.0), std::invalid_argument);
   }
   {
     // Trailing garbage must not be silently truncated.
     ScopedEnv env("FS_SCALE", "1.5x");
-    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW((void)ExperimentConfig::from_env(), std::invalid_argument);
   }
   {
     ScopedEnv env("FS_RUNS", "inf");
-    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW((void)ExperimentConfig::from_env(), std::invalid_argument);
   }
   {
     // strtod would read "0x2" as a C99 hex float (2.0); reject instead.
     ScopedEnv env("FS_SCALE", "0x2");
-    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW((void)ExperimentConfig::from_env(), std::invalid_argument);
   }
   {
     // Negative multipliers are rejected, not clamped.
     ScopedEnv env("FS_RUNS", "-1");
-    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW((void)ExperimentConfig::from_env(), std::invalid_argument);
   }
   {
     // strtoull would wrap a negative value into a huge thread count.
     ScopedEnv env("FS_THREADS", "-3");
-    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW((void)ExperimentConfig::from_env(), std::invalid_argument);
   }
   {
     ScopedEnv env("FS_SEED", "0x12");
-    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW((void)ExperimentConfig::from_env(), std::invalid_argument);
   }
   {
     ScopedEnv env("FS_SEED", "99999999999999999999999999");  // > 2^64
-    EXPECT_THROW(ExperimentConfig::from_env(), std::invalid_argument);
+    EXPECT_THROW((void)ExperimentConfig::from_env(), std::invalid_argument);
   }
 }
 

@@ -85,7 +85,9 @@ TEST(WalkFrom, ProducesChainedValidEdges) {
   ASSERT_EQ(edges.size(), 500u);
   for (std::size_t i = 0; i < edges.size(); ++i) {
     EXPECT_TRUE(g.has_edge(edges[i].u, edges[i].v)) << "step " << i;
-    if (i > 0) EXPECT_EQ(edges[i].u, edges[i - 1].v) << "step " << i;
+    if (i > 0) {
+      EXPECT_EQ(edges[i].u, edges[i - 1].v) << "step " << i;
+    }
   }
 }
 

@@ -2,10 +2,20 @@
 # One-command local gate: configure, build everything, run ctest, then
 # rebuild the library with -Wall -Wextra -Werror to keep it warning-clean.
 #
-#   tools/check.sh [build-dir] [--sanitize]    (default: build)
+#   tools/check.sh [build-dir] [--sanitize] [--tsan] [--tidy]
+#   (default: build)
 #
 # --sanitize additionally configures/builds/tests the `sanitize` CMake
 # preset (ASan + UBSan, see CMakePresets.json) in build-sanitize/.
+# --tsan     additionally builds the `tsan` preset (ThreadSanitizer) in
+#            build-tsan/ and runs the concurrency-bearing tests under it
+#            (the same subset CI's tsan job runs).
+# --tidy     additionally runs tools/lint.sh (clang-tidy over src/; skips
+#            with a notice when clang-tidy is not installed).
+#
+# The default run is unchanged: configure + build + ctest + strict build.
+# All three flags compose: `tools/check.sh --tidy --tsan --sanitize` is
+# the full local correctness gate.
 #
 # Mirrors the tier-1 verify in ROADMAP.md; run before every push.
 set -euo pipefail
@@ -13,9 +23,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="build"
 SANITIZE=0
+TSAN=0
+TIDY=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
+    --tsan) TSAN=1 ;;
+    --tidy) TIDY=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -48,6 +62,26 @@ if [ "$SANITIZE" -eq 1 ]; then
   cmake --preset sanitize >/dev/null
   cmake --build --preset sanitize -j "$JOBS"
   ctest --preset sanitize -j "$JOBS" --timeout 120
+fi
+
+if [ "$TSAN" -eq 1 ]; then
+  echo "== tsan build + concurrency tests (ThreadSanitizer)"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$JOBS" --target \
+    test_replication_runner test_metrics_registry test_obs_determinism \
+    test_graph_storage test_rwj_parallel
+  # The concurrency-bearing subset: the replication work queue, the
+  # sharded metrics registry, telemetry attach/detach during crawls, the
+  # parallel edge-list parser / parallel sort, and the RWJ parallel path.
+  # TSan's happens-before checking makes these meaningful; the rest of
+  # the suite is single-threaded and already covered by ASan/UBSan.
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" --timeout 300 \
+    -R 'test_replication_runner|test_metrics_registry|test_obs_determinism|test_graph_storage|test_rwj_parallel'
+fi
+
+if [ "$TIDY" -eq 1 ]; then
+  echo "== clang-tidy (tools/lint.sh)"
+  tools/lint.sh --build-dir "$BUILD_DIR"
 fi
 
 echo "== OK"

@@ -1,0 +1,51 @@
+// frontier_lint — in-tree invariant linter; rules live in lint_rules.cpp.
+//
+//   frontier_lint <repo-root>      lint the tree, print findings, exit 0/1
+//   frontier_lint --list-rules     print the rule table
+//
+// Registered as the `frontier_lint_repo` ctest case, so tier-1 runs the
+// lint on every build. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+#include <filesystem>
+#include <iostream>
+#include <string_view>
+
+#include "lint_rules.hpp"
+
+int main(int argc, char** argv) {
+  using namespace frontier::lint;
+
+  if (argc == 2 && std::string_view(argv[1]) == "--list-rules") {
+    for (const RuleInfo& r : rules()) {
+      std::cout << r.name << "\n    " << r.summary << "\n";
+    }
+    return 0;
+  }
+  if (argc != 2) {
+    std::cerr << "usage: frontier_lint <repo-root> | --list-rules\n";
+    return 2;
+  }
+
+  const std::filesystem::path root = argv[1];
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root, ec)) {
+    std::cerr << "frontier_lint: not a directory: " << root.string() << "\n";
+    return 2;
+  }
+
+  const LintResult result = lint_tree(root);
+  for (const std::string& path : result.unreadable) {
+    std::cerr << "frontier_lint: cannot read " << path << "\n";
+  }
+  for (const Diagnostic& d : result.diagnostics) {
+    std::cout << format(d) << "\n";
+  }
+  if (!result.unreadable.empty()) return 2;
+  if (!result.diagnostics.empty()) {
+    std::cerr << "frontier_lint: " << result.diagnostics.size()
+              << " finding(s) over " << result.files_checked << " file(s)\n";
+    return 1;
+  }
+  std::cout << "frontier_lint: OK (" << result.files_checked
+            << " files checked)\n";
+  return 0;
+}
