@@ -1,0 +1,41 @@
+#include "cli/load.hpp"
+
+#include <stdexcept>
+
+#include "graph/io.hpp"
+#include "graph/storage.hpp"  // FRONTIER_HAS_MMAP
+
+namespace frontier::cli {
+
+Graph load_graph(const std::string& path, bool want_mmap) {
+  const bool is_bin =
+      path.size() > 4 && path.substr(path.size() - 4) == ".bin";
+  if (want_mmap && !is_bin) {
+    throw std::invalid_argument(
+        "--mmap requires a .bin snapshot (create one with: frontier_cli "
+        "convert " +
+        path + " graph.bin)");
+  }
+  Graph g = is_bin ? read_binary_file(path) : read_edge_list_file(path);
+  if (want_mmap && !g.is_memory_mapped()) {
+#if FRONTIER_HAS_MMAP
+    throw std::invalid_argument(
+        "--mmap: " + path +
+        " is a legacy v1 snapshot; re-write it as v2 with convert");
+#else
+    throw std::invalid_argument(
+        "--mmap: memory-mapped loading is unavailable on this platform");
+#endif
+  }
+  return g;
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    write_binary_file(g, path);
+  } else {
+    write_edge_list_file(g, path);
+  }
+}
+
+}  // namespace frontier::cli

@@ -1,0 +1,21 @@
+// Graph loading/saving shared by the CLI tools (frontier_cli,
+// frontier_serve): extension-driven format choice plus the --mmap
+// contract — when the caller asked for a zero-copy load, anything that
+// would silently fall back to a rebuild is an error instead.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace frontier::cli {
+
+/// Loads `path` (.bin → binary snapshot, else edge list). With
+/// `want_mmap`, requires a v2 .bin snapshot actually served via mmap and
+/// throws std::invalid_argument otherwise.
+[[nodiscard]] Graph load_graph(const std::string& path, bool want_mmap);
+
+/// Writes `g` to `path` (.bin → format-v2 snapshot, else edge list).
+void save_graph(const Graph& g, const std::string& path);
+
+}  // namespace frontier::cli

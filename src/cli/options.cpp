@@ -1,0 +1,216 @@
+#include "cli/options.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace frontier::cli {
+namespace {
+
+[[noreturn]] void usage_fail(const CommandSpec& spec, const std::string& why) {
+  throw UsageError(why + "\n" + spec.usage());
+}
+
+}  // namespace
+
+std::uint64_t parse_u64(std::string_view flag, std::string_view raw,
+                        std::uint64_t min) {
+  const std::string what = "--" + std::string(flag);
+  if (raw.empty() || raw.find_first_not_of("0123456789") != std::string::npos) {
+    throw UsageError(what + " expects a non-negative integer, got '" +
+                     std::string(raw) + "'");
+  }
+  std::uint64_t value = 0;
+  const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (res.ec != std::errc{} || res.ptr != raw.data() + raw.size()) {
+    throw UsageError(what + " is out of 64-bit range: '" + std::string(raw) +
+                     "'");
+  }
+  if (value < min) {
+    throw UsageError(what + " must be at least " + std::to_string(min) +
+                     ", got " + std::string(raw));
+  }
+  return value;
+}
+
+double parse_double(std::string_view flag, std::string_view raw, bool has_min,
+                    double min, bool exclusive_min) {
+  const std::string what = "--" + std::string(flag);
+  double value = 0.0;
+  const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (raw.empty() || res.ec != std::errc{} ||
+      res.ptr != raw.data() + raw.size()) {
+    throw UsageError(what + " expects a number, got '" + std::string(raw) +
+                     "'");
+  }
+  if (!std::isfinite(value)) {
+    throw UsageError(what + " must be finite, got '" + std::string(raw) + "'");
+  }
+  if (has_min && (value < min || (exclusive_min && value == min))) {
+    throw UsageError(what + " must be " +
+                     (exclusive_min ? "greater than " : "at least ") +
+                     std::to_string(min) + ", got " + std::string(raw));
+  }
+  return value;
+}
+
+const OptionSpec* CommandSpec::find(std::string_view name) const {
+  for (const OptionSpec& o : options) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+std::string CommandSpec::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program;
+  if (!command.empty()) os << " " << command;
+  for (const PositionalSpec& p : positionals) {
+    os << (p.required ? " <" : " [<") << p.name << (p.required ? ">" : ">]");
+  }
+  if (variadic_positionals) os << "...";
+  if (!options.empty()) os << " [options]";
+  os << "\n";
+  if (!summary.empty()) os << "  " << summary << "\n";
+  for (const OptionSpec& o : options) {
+    std::string lhs = "  --" + o.name;
+    if (o.type != OptionType::kFlag) {
+      lhs += " " + (o.value_name.empty() ? std::string("VALUE") : o.value_name);
+    }
+    os << lhs;
+    if (!o.help.empty()) {
+      for (std::size_t i = lhs.size(); i < 26; ++i) os << ' ';
+      os << o.help;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ParsedArgs CommandSpec::parse(const std::vector<std::string>& tokens) const {
+  ParsedArgs args;
+  args.spec_ = this;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("--", 0) != 0 || token.size() == 2) {
+      args.positionals_.push_back(token);
+      continue;
+    }
+    std::string name = token.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    const OptionSpec* spec = find(name);
+    if (spec == nullptr) usage_fail(*this, "unknown option --" + name);
+    if (args.values_.count(name) != 0) {
+      usage_fail(*this, "--" + name + " given more than once");
+    }
+    std::string raw;
+    if (spec->type == OptionType::kFlag) {
+      if (has_inline) {
+        usage_fail(*this, "--" + name + " is a flag and takes no value");
+      }
+      raw = "1";
+    } else if (has_inline) {
+      raw = inline_value;
+    } else {
+      if (i + 1 >= tokens.size()) {
+        usage_fail(*this, "--" + name + " requires a value");
+      }
+      raw = tokens[++i];
+    }
+    switch (spec->type) {
+      case OptionType::kU64:
+        args.u64s_[name] = parse_u64(name, raw, spec->min_u64);
+        break;
+      case OptionType::kDouble:
+        args.doubles_[name] =
+            parse_double(name, raw, spec->has_min_double, spec->min_double,
+                         spec->exclusive_min);
+        break;
+      case OptionType::kFlag:
+      case OptionType::kString:
+      case OptionType::kPath:
+        break;
+    }
+    args.values_[name] = raw;
+  }
+
+  std::size_t required = 0;
+  for (const PositionalSpec& p : positionals) {
+    if (p.required) ++required;
+  }
+  if (args.positionals_.size() < required) {
+    usage_fail(*this, "missing <" + positionals[args.positionals_.size()].name +
+                          "> argument");
+  }
+  if (!variadic_positionals && args.positionals_.size() > positionals.size()) {
+    usage_fail(*this, "unexpected extra argument '" +
+                          args.positionals_[positionals.size()] + "'");
+  }
+  return args;
+}
+
+ParsedArgs CommandSpec::parse(int argc, char** argv, int first) const {
+  std::vector<std::string> tokens;
+  tokens.reserve(argc > first ? static_cast<std::size_t>(argc - first) : 0);
+  for (int i = first; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+void ParsedArgs::require_type(std::string_view name, OptionType t1,
+                              OptionType t2) const {
+  const OptionSpec* spec = spec_ == nullptr ? nullptr : spec_->find(name);
+  if (spec == nullptr) {
+    throw std::logic_error("option --" + std::string(name) +
+                           " is not declared in the command spec");
+  }
+  if (spec->type != t1 && spec->type != t2) {
+    throw std::logic_error("option --" + std::string(name) +
+                           " accessed with the wrong-typed accessor");
+  }
+}
+
+bool ParsedArgs::has(std::string_view name) const {
+  if (spec_ == nullptr || spec_->find(name) == nullptr) {
+    throw std::logic_error("option --" + std::string(name) +
+                           " is not declared in the command spec");
+  }
+  return values_.find(name) != values_.end();
+}
+
+bool ParsedArgs::get_flag(std::string_view name) const {
+  require_type(name, OptionType::kFlag, OptionType::kFlag);
+  return values_.find(name) != values_.end();
+}
+
+std::uint64_t ParsedArgs::get_u64(std::string_view name,
+                                  std::uint64_t fallback) const {
+  require_type(name, OptionType::kU64, OptionType::kU64);
+  const auto it = u64s_.find(name);
+  return it == u64s_.end() ? fallback : it->second;
+}
+
+double ParsedArgs::get_double(std::string_view name, double fallback) const {
+  require_type(name, OptionType::kDouble, OptionType::kDouble);
+  const auto it = doubles_.find(name);
+  return it == doubles_.end() ? fallback : it->second;
+}
+
+std::string ParsedArgs::get_string(std::string_view name,
+                                   std::string fallback) const {
+  require_type(name, OptionType::kString, OptionType::kPath);
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::string ParsedArgs::get_path(std::string_view name,
+                                 std::string fallback) const {
+  return get_string(name, std::move(fallback));
+}
+
+}  // namespace frontier::cli

@@ -50,6 +50,7 @@
 #include "stream/motif_sinks.hpp"
 #include "stream/checkpoint.hpp"
 #include "stream/engine.hpp"
+#include "stream/spec.hpp"
 
 #include "estimators/density.hpp"
 #include "estimators/degree_distribution.hpp"
@@ -64,6 +65,13 @@
 #include "stats/error_metrics.hpp"
 #include "stats/analytic.hpp"
 #include "stats/bootstrap.hpp"
+
+#include "cli/options.hpp"
+#include "cli/load.hpp"
+
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+#include "serve/server.hpp"
 
 #include "obs/metrics.hpp"
 #include "obs/resource.hpp"

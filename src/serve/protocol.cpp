@@ -1,0 +1,171 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <initializer_list>
+
+#include "stats/json.hpp"
+
+namespace frontier::serve {
+namespace {
+
+constexpr std::string_view kContext = "serve protocol";
+
+[[noreturn]] void bad_request(const std::string& why) {
+  throw WireError("bad-request", why);
+}
+
+/// Exact-key check with optionals: every member must be declared, every
+/// required key present, no duplicates. (stats/json's require_exact_keys
+/// has no optional-key notion, and the wire protocol needs one.)
+void check_keys(const json::Value& obj,
+                std::initializer_list<std::string_view> required,
+                std::initializer_list<std::string_view> optional) {
+  for (const auto& [k, v] : obj.members) {
+    (void)v;
+    bool known = false;
+    for (const std::string_view key : required) known = known || key == k;
+    for (const std::string_view key : optional) known = known || key == k;
+    if (!known) bad_request("unknown key \"" + k + "\"");
+    std::size_t seen = 0;
+    for (const auto& [k2, v2] : obj.members) {
+      (void)v2;
+      if (k2 == k) ++seen;
+    }
+    if (seen > 1) bad_request("duplicate key \"" + k + "\"");
+  }
+  for (const std::string_view key : required) {
+    bool present = false;
+    for (const auto& [k, v] : obj.members) {
+      (void)v;
+      present = present || k == key;
+    }
+    if (!present) bad_request("missing key \"" + std::string(key) + "\"");
+  }
+}
+
+[[nodiscard]] bool has_key(const json::Value& obj, std::string_view key) {
+  for (const auto& [k, v] : obj.members) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] std::string get_identifier(const json::Value& obj,
+                                         const std::string& key) {
+  const std::string s = json::get_string(obj, key, kContext);
+  if (!valid_identifier(s)) {
+    bad_request("\"" + key +
+                "\" must be 1-64 chars of [A-Za-z0-9._-] with no leading "
+                "'.', got \"" +
+                s + "\"");
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kStep: return "step";
+    case Op::kEstimates: return "estimates";
+    case Op::kCheckpoint: return "checkpoint";
+    case Op::kClose: return "close";
+    case Op::kStats: return "stats";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+bool valid_identifier(std::string_view s) noexcept {
+  if (s.empty() || s.size() > 64 || s.front() == '.') return false;
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Request parse_request(std::string_view line) {
+  json::Value doc;
+  try {
+    doc = json::parse(line, kContext);
+  } catch (const json::ParseError& e) {
+    bad_request(e.what());
+  }
+  if (doc.kind != json::Value::Kind::kObject) {
+    bad_request("request must be a JSON object");
+  }
+
+  Request req;
+  std::string op;
+  try {
+    op = json::get_string(doc, "op", kContext);
+
+    if (op == "open") {
+      req.op = Op::kOpen;
+      check_keys(doc, {"op", "session", "method", "budget", "seed"},
+                 {"dimension", "motifs", "tenant", "resume"});
+      req.session = get_identifier(doc, "session");
+      req.tenant = has_key(doc, "tenant") ? get_identifier(doc, "tenant")
+                                          : std::string("default");
+      req.spec.method = json::get_string(doc, "method", kContext);
+      req.spec.budget = json::get_number(doc, "budget", false, kContext);
+      req.spec.seed = json::get_u64(doc, "seed", kContext);
+      if (has_key(doc, "dimension")) {
+        const std::uint64_t dim = json::get_u64(doc, "dimension", kContext);
+        req.spec.dimension = static_cast<std::size_t>(dim);
+      }
+      if (has_key(doc, "motifs")) {
+        req.spec.motifs = json::get_bool(doc, "motifs", kContext);
+      }
+      if (has_key(doc, "resume")) {
+        req.resume = json::get_bool(doc, "resume", kContext);
+      }
+      try {
+        req.spec.validate();
+      } catch (const std::invalid_argument& e) {
+        bad_request(e.what());
+      }
+    } else if (op == "step") {
+      req.op = Op::kStep;
+      check_keys(doc, {"op", "session", "events"}, {});
+      req.session = get_identifier(doc, "session");
+      req.events = json::get_u64(doc, "events", kContext);
+      if (req.events == 0) bad_request("\"events\" must be at least 1");
+    } else if (op == "estimates" || op == "checkpoint" || op == "close") {
+      req.op = op == "estimates"  ? Op::kEstimates
+               : op == "checkpoint" ? Op::kCheckpoint
+                                    : Op::kClose;
+      check_keys(doc, {"op", "session"}, {});
+      req.session = get_identifier(doc, "session");
+    } else if (op == "stats" || op == "shutdown") {
+      req.op = op == "stats" ? Op::kStats : Op::kShutdown;
+      check_keys(doc, {"op"}, {});
+    } else {
+      bad_request("unknown op \"" + op + "\"");
+    }
+  } catch (const json::ParseError& e) {
+    bad_request(e.what());
+  }
+  return req;
+}
+
+std::string error_response(std::string_view code, std::string_view message) {
+  return "{\"ok\":false,\"error\":" + json::quote(code) +
+         ",\"message\":" + json::quote(message) + "}";
+}
+
+std::string ok_response(Op op, std::string_view fields) {
+  std::string out = "{\"ok\":true,\"op\":" + json::quote(op_name(op));
+  if (!fields.empty()) {
+    out += ',';
+    out += fields;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace frontier::serve

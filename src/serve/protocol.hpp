@@ -1,0 +1,93 @@
+// frontier_serve wire protocol v1 — newline-delimited JSON.
+//
+// One request object per line, one response object per line, always in
+// order. The parser has the same parse-or-throw discipline as the
+// BenchReport schema (both sit on stats/json.hpp): unknown keys, missing
+// keys, duplicate keys, wrong types, malformed numbers and out-of-range
+// values are all rejected with a structured error response — a request
+// byte sequence can be refused, never crash the daemon or corrupt a
+// session.
+//
+// Requests (required keys; [optional]):
+//   {"op":"open","session":S,"method":M,"budget":B,"seed":N,
+//    ["dimension":N,"motifs":bool,"tenant":S,"resume":bool]}
+//   {"op":"step","session":S,"events":N}
+//   {"op":"estimates","session":S}
+//   {"op":"checkpoint","session":S}
+//   {"op":"close","session":S}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// Responses:
+//   {"ok":true,"op":...,...}                      — op-specific fields
+//   {"ok":false,"error":CODE,"message":TEXT}      — structured failure
+//
+// Error codes: bad-request, line-too-long, unknown-session,
+// duplicate-session, session-busy, over-quota, bad-checkpoint, io-error,
+// shutting-down. The full specification lives in docs/SERVER.md.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "stream/spec.hpp"
+
+namespace frontier::serve {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// A request the server refuses. `code()` is the machine-readable error
+/// code of the response; what() is the human-readable message.
+class WireError : public std::runtime_error {
+ public:
+  WireError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+enum class Op : std::uint8_t {
+  kOpen,
+  kStep,
+  kEstimates,
+  kCheckpoint,
+  kClose,
+  kStats,
+  kShutdown,
+};
+
+[[nodiscard]] std::string_view op_name(Op op) noexcept;
+
+struct Request {
+  Op op = Op::kStats;
+  std::string session;       ///< open/step/estimates/checkpoint/close
+  std::string tenant;        ///< open; defaults to "default"
+  CrawlSpec spec;            ///< open
+  bool resume = false;       ///< open: restore from the spool checkpoint
+  std::uint64_t events = 0;  ///< step
+};
+
+/// Parses and validates one request line. Throws WireError("bad-request")
+/// on any schema violation; the message pinpoints the offending key.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Session/tenant ids: 1-64 chars of [A-Za-z0-9._-], no leading '.'
+/// (ids name spool checkpoint files, so nothing path-like is accepted).
+[[nodiscard]] bool valid_identifier(std::string_view s) noexcept;
+
+// ---------------------------------------------------------------------------
+// Response builders (no trailing newline; the transport appends it).
+
+/// {"ok":false,"error":CODE,"message":TEXT}
+[[nodiscard]] std::string error_response(std::string_view code,
+                                         std::string_view message);
+
+/// {"ok":true,"op":OP} or {"ok":true,"op":OP,<fields>} — `fields` is a
+/// pre-rendered comma-joined field list.
+[[nodiscard]] std::string ok_response(Op op, std::string_view fields = {});
+
+}  // namespace frontier::serve

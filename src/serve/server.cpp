@@ -1,0 +1,505 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "graph/io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FRONTIER_HAS_SOCKETS 1
+#else
+#define FRONTIER_HAS_SOCKETS 0
+#endif
+
+#if FRONTIER_HAS_SOCKETS
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "stats/json.hpp"
+
+namespace frontier::serve {
+
+ServeCore::ServeCore(Graph graph, ServeLimits limits, std::string spool_dir,
+                     Clock::time_point now, MetricsRegistry* metrics)
+    : registry_(std::move(graph), limits, std::move(spool_dir)),
+      start_(now) {
+  if (metrics != nullptr) {
+    m_requests_ = metrics->counter("serve.requests");
+    m_errors_ = metrics->counter("serve.errors");
+    m_events_ = metrics->counter("serve.events_pumped");
+    m_evictions_ = metrics->counter("serve.evictions");
+    m_active_ = metrics->gauge("serve.active_sessions");
+    m_queue_ = metrics->gauge("serve.step_queue_depth");
+    m_request_ns_ = metrics->histogram("serve.request_ns");
+  }
+}
+
+void ServeCore::update_gauges() {
+  m_active_.set(static_cast<double>(registry_.active()));
+  m_queue_.set(static_cast<double>(jobs_.size()));
+}
+
+std::string ServeCore::step_response(const Session& s,
+                                     std::uint64_t stepped) const {
+  return ok_response(
+      Op::kStep,
+      "\"session\":" + json::quote(s.id()) +
+          ",\"stepped\":" + std::to_string(stepped) +
+          ",\"events\":" + std::to_string(s.engine().events()) +
+          ",\"cost\":" + json::number(s.engine().cursor().cost()) +
+          ",\"done\":" + json::boolean(s.engine().finished()));
+}
+
+ServeCore::Outcome ServeCore::handle_line(std::uint64_t conn,
+                                          std::string_view line,
+                                          Clock::time_point now) {
+  const ScopeTimer timer(m_request_ns_);
+  ++requests_;
+  m_requests_.add();
+  Outcome out;
+  try {
+    if (line.size() > registry_.limits().max_line_bytes) {
+      throw WireError("line-too-long",
+                      "request line exceeds max-line-bytes (" +
+                          std::to_string(registry_.limits().max_line_bytes) +
+                          ")");
+    }
+    if (draining_) {
+      throw WireError("shutting-down", "the server is draining");
+    }
+    const Request req = parse_request(line);
+    out.response = dispatch(conn, req, now, out.deferred, out.shutdown);
+  } catch (const WireError& e) {
+    ++errors_;
+    m_errors_.add();
+    out.response = error_response(e.code(), e.what());
+  } catch (const IoError& e) {
+    ++errors_;
+    m_errors_.add();
+    out.response = error_response("io-error", e.what());
+  } catch (const std::exception& e) {
+    // Defensive: nothing below should leak a bare exception, but a
+    // request must never take the daemon down.
+    ++errors_;
+    m_errors_.add();
+    out.response = error_response("internal", e.what());
+  }
+  update_gauges();
+  return out;
+}
+
+std::string ServeCore::dispatch(std::uint64_t conn, const Request& req,
+                                Clock::time_point now, bool& deferred,
+                                bool& shutdown) {
+  switch (req.op) {
+    case Op::kOpen: {
+      Session& s =
+          registry_.open(req.session, req.tenant, req.spec, req.resume, now);
+      return ok_response(
+          Op::kOpen,
+          "\"session\":" + json::quote(s.id()) +
+              ",\"tenant\":" + json::quote(s.tenant()) +
+              ",\"resumed\":" + json::boolean(req.resume) +
+              ",\"events\":" + std::to_string(s.engine().events()) +
+              ",\"dimension\":" + std::to_string(s.spec().dimension));
+    }
+    case Op::kStep: {
+      Session& s = registry_.checked(req.session);
+      if (req.events > registry_.limits().max_step_events) {
+        throw WireError(
+            "over-quota",
+            "step exceeds max-step-events (" +
+                std::to_string(registry_.limits().max_step_events) + ")");
+      }
+      s.touch(now);
+      if (s.engine().finished()) return step_response(s, 0);
+      s.set_busy(true);
+      jobs_.push_back(Job{conn, s.id(), req.events, 0});
+      deferred = true;
+      return {};
+    }
+    case Op::kEstimates: {
+      Session& s = registry_.checked(req.session);
+      s.touch(now);
+      return ok_response(Op::kEstimates,
+                         "\"session\":" + json::quote(s.id()) + "," +
+                             estimates_fields(s.spec(), s.engine()));
+    }
+    case Op::kCheckpoint: {
+      Session& s = registry_.checked(req.session);
+      s.touch(now);
+      const std::string path = registry_.checkpoint(s);
+      return ok_response(
+          Op::kCheckpoint,
+          "\"session\":" + json::quote(s.id()) +
+              ",\"path\":" + json::quote(path) +
+              ",\"events\":" + std::to_string(s.engine().events()));
+    }
+    case Op::kClose: {
+      Session& s = registry_.checked(req.session);
+      const std::uint64_t events = s.engine().events();
+      registry_.close(req.session);
+      return ok_response(Op::kClose,
+                         "\"session\":" + json::quote(req.session) +
+                             ",\"events\":" + std::to_string(events));
+    }
+    case Op::kStats: {
+      std::string sessions = "[";
+      for (const Session* s : registry_.list()) {
+        if (sessions.size() > 1) sessions += ',';
+        sessions += "{\"session\":" + json::quote(s->id()) +
+                    ",\"tenant\":" + json::quote(s->tenant()) +
+                    ",\"method\":" + json::quote(s->spec().method) +
+                    ",\"events\":" + std::to_string(s->engine().events()) +
+                    ",\"busy\":" + json::boolean(s->busy()) +
+                    ",\"done\":" + json::boolean(s->engine().finished()) +
+                    "}";
+      }
+      sessions += ']';
+      return ok_response(
+          Op::kStats,
+          "\"protocol\":" + std::to_string(kProtocolVersion) +
+              ",\"uptime_seconds\":" +
+              json::number(
+                  std::chrono::duration<double>(now - start_).count()) +
+              ",\"active_sessions\":" + std::to_string(registry_.active()) +
+              ",\"opened\":" + std::to_string(registry_.opened()) +
+              ",\"closed\":" + std::to_string(registry_.closed()) +
+              ",\"evictions\":" + std::to_string(registry_.evictions()) +
+              ",\"requests\":" + std::to_string(requests_) +
+              ",\"errors\":" + std::to_string(errors_) +
+              ",\"events_pumped\":" + std::to_string(events_pumped_) +
+              ",\"step_queue_depth\":" + std::to_string(jobs_.size()) +
+              ",\"sessions\":" + sessions);
+    }
+    case Op::kShutdown: {
+      const std::size_t drained = drain();
+      shutdown = true;
+      return ok_response(Op::kShutdown,
+                         "\"drained\":" + std::to_string(drained));
+    }
+  }
+  throw WireError("bad-request", "unhandled op");
+}
+
+std::optional<ServeCore::Completed> ServeCore::pump_slice(
+    Clock::time_point now) {
+  if (jobs_.empty()) return std::nullopt;
+  Job job = std::move(jobs_.front());
+  jobs_.pop_front();
+  Session* s = registry_.find(job.session);
+  if (s == nullptr) {
+    // Unreachable by construction (busy sessions cannot be closed or
+    // evicted), but a scheduler must not crash on a stale job.
+    update_gauges();
+    return Completed{job.conn,
+                     error_response("unknown-session",
+                                    "session \"" + job.session +
+                                        "\" vanished mid-step")};
+  }
+  const std::uint64_t want =
+      std::min(job.remaining, registry_.limits().slice_events);
+  const std::uint64_t got = s->engine().pump(want);
+  job.stepped += got;
+  job.remaining = got < want ? 0 : job.remaining - want;
+  events_pumped_ += got;
+  m_events_.add(got);
+  s->touch(now);
+  if (job.remaining == 0 || s->engine().finished()) {
+    s->set_busy(false);
+    Completed done{job.conn, step_response(*s, job.stepped)};
+    update_gauges();
+    return done;
+  }
+  jobs_.push_back(std::move(job));
+  update_gauges();
+  return std::nullopt;
+}
+
+void ServeCore::cancel_connection(std::uint64_t conn) {
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->conn == conn) {
+      if (Session* s = registry_.find(it->session); s != nullptr) {
+        s->set_busy(false);
+      }
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  update_gauges();
+}
+
+std::size_t ServeCore::drain() {
+  for (const Job& job : jobs_) {
+    if (Session* s = registry_.find(job.session); s != nullptr) {
+      s->set_busy(false);
+    }
+  }
+  jobs_.clear();
+  draining_ = true;
+  const std::size_t drained = registry_.drain_all();
+  update_gauges();
+  return drained;
+}
+
+std::size_t ServeCore::evict_idle(Clock::time_point now) {
+  const std::size_t evicted = registry_.evict_idle(now);
+  if (evicted > 0) {
+    m_evictions_.add(evicted);
+    update_gauges();
+  }
+  return evicted;
+}
+
+// ---------------------------------------------------------------------------
+// SocketServer
+
+struct SocketServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::string in;
+  std::string out;
+  bool closing = false;  ///< close once `out` has flushed
+};
+
+#if FRONTIER_HAS_SOCKETS
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void socket_fail(const std::string& what) {
+  throw IoError("serve socket: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ServeCore& core, SocketConfig config,
+                           std::ostream* log)
+    : core_(core), config_(std::move(config)), log_(log) {
+  const bool want_unix = !config_.unix_socket.empty();
+  const bool want_tcp = config_.tcp_port != 0;
+  if (want_unix == want_tcp) {
+    throw IoError(
+        "serve socket: exactly one of --socket and --port is required");
+  }
+  if (want_unix) {
+    if (config_.unix_socket.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw IoError("serve socket: unix path too long: " +
+                    config_.unix_socket);
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) socket_fail("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // The daemon owns the path: remove a stale socket from a previous run.
+    (void)::unlink(config_.unix_socket.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      socket_fail("bind " + config_.unix_socket);
+    }
+    address_ = config_.unix_socket;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) socket_fail("socket");
+    const int one = 1;
+    (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      socket_fail("bind 127.0.0.1:" + std::to_string(config_.tcp_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                        &len);
+    address_ = "127.0.0.1:" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) socket_fail("listen");
+  set_nonblocking(listen_fd_);
+  if (log_ != nullptr) {
+    *log_ << "frontier_serve: listening on " << address_ << "\n";
+  }
+}
+
+SocketServer::~SocketServer() {
+  for (Conn& c : conns_) {
+    if (c.fd >= 0) (void)::close(c.fd);
+  }
+  if (listen_fd_ >= 0) (void)::close(listen_fd_);
+  if (!config_.unix_socket.empty()) {
+    (void)::unlink(config_.unix_socket.c_str());
+  }
+}
+
+void SocketServer::accept_new() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN and friends: nothing more to accept
+    set_nonblocking(fd);
+    Conn c;
+    c.fd = fd;
+    c.id = next_conn_id_++;
+    conns_.push_back(std::move(c));
+  }
+}
+
+bool SocketServer::service_input(Conn& c) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    c.in.append(buf, static_cast<std::size_t>(n));
+  }
+
+  const std::uint64_t max_line = core_.registry().limits().max_line_bytes;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = c.in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string_view line(c.in.data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const auto now = ServeCore::Clock::now();
+    const ServeCore::Outcome out = core_.handle_line(c.id, line, now);
+    if (!out.response.empty()) {
+      c.out += out.response;
+      c.out += '\n';
+    }
+    if (out.shutdown) shutdown_requested_ = true;
+    start = nl + 1;
+  }
+  c.in.erase(0, start);
+  if (c.in.size() > max_line) {
+    // An unterminated over-long line is a protocol violation: answer
+    // once, then hang up (the rest of the line could be gigabytes).
+    c.out += error_response("line-too-long",
+                            "request line exceeds max-line-bytes (" +
+                                std::to_string(max_line) + ")");
+    c.out += '\n';
+    c.in.clear();
+    c.closing = true;
+  }
+  return true;
+}
+
+bool SocketServer::flush_output(Conn& c) {
+  while (!c.out.empty()) {
+    const ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    c.out.erase(0, static_cast<std::size_t>(n));
+  }
+  return !c.closing;
+}
+
+void SocketServer::close_conn(std::size_t index) {
+  core_.cancel_connection(conns_[index].id);
+  (void)::close(conns_[index].fd);
+  conns_.erase(conns_.begin() +
+               static_cast<std::ptrdiff_t>(index));
+}
+
+std::size_t SocketServer::run(const volatile std::sig_atomic_t* stop) {
+  std::vector<pollfd> fds;
+  while ((stop == nullptr || *stop == 0) && !shutdown_requested_) {
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns_) {
+      short events = POLLIN;
+      if (!c.out.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{c.fd, events, 0});
+    }
+    // Runnable step jobs keep the loop hot; otherwise block briefly so
+    // SIGTERM and idle eviction are noticed promptly.
+    const int timeout_ms = core_.has_runnable() ? 0 : 250;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) socket_fail("poll");
+
+    if (ready > 0 && (fds[0].revents & POLLIN) != 0) accept_new();
+    for (std::size_t i = conns_.size(); i-- > 0;) {
+      const short re = ready > 0 ? fds[i + 1].revents : 0;
+      bool alive = true;
+      if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0) alive = false;
+      if (alive && (re & POLLIN) != 0) alive = service_input(conns_[i]);
+      if (alive && !conns_[i].out.empty()) alive = flush_output(conns_[i]);
+      if (!alive) close_conn(i);
+    }
+
+    // A few slices per iteration: enough to keep sessions moving, small
+    // enough that new connections and responses stay interactive.
+    const auto now = ServeCore::Clock::now();
+    for (int i = 0; i < 4 && core_.has_runnable(); ++i) {
+      if (auto done = core_.pump_slice(now)) {
+        for (Conn& c : conns_) {
+          if (c.id == done->conn) {
+            c.out += done->response;
+            c.out += '\n';
+            (void)flush_output(c);
+            break;
+          }
+        }
+      }
+    }
+    (void)core_.evict_idle(now);
+  }
+
+  const std::size_t drained = core_.drain();
+  // Best-effort flush of in-flight responses (the shutdown ack).
+  for (Conn& c : conns_) (void)flush_output(c);
+  if (log_ != nullptr) {
+    *log_ << "frontier_serve: drained " << drained << " session"
+          << (drained == 1 ? "" : "s") << " to "
+          << core_.registry().spool_dir() << "\n";
+  }
+  return drained;
+}
+
+#else  // !FRONTIER_HAS_SOCKETS
+
+SocketServer::SocketServer(ServeCore& core, SocketConfig config,
+                           std::ostream* log)
+    : core_(core), config_(std::move(config)), log_(log) {
+  throw IoError("serve socket: no socket support on this platform");
+}
+
+SocketServer::~SocketServer() = default;
+
+std::size_t SocketServer::run(const volatile std::sig_atomic_t*) {
+  return 0;
+}
+
+void SocketServer::accept_new() {}
+bool SocketServer::service_input(Conn&) { return false; }
+bool SocketServer::flush_output(Conn&) { return false; }
+void SocketServer::close_conn(std::size_t) {}
+
+#endif  // FRONTIER_HAS_SOCKETS
+
+}  // namespace frontier::serve

@@ -1,0 +1,163 @@
+// The frontier_serve daemon: request dispatch, the sliced scheduler, and
+// the poll()-based socket front end.
+//
+// ServeCore is transport-independent — it maps request lines to response
+// lines over a SessionRegistry. Cheap ops (open/estimates/checkpoint/
+// close/stats) answer synchronously; `step` requests become pending jobs
+// that pump_slice() advances in fixed-budget slices, round-robin across
+// sessions, so one million-event step cannot starve every other client
+// (StreamEngine::pump honors exact event counts, which is what makes the
+// slicing invisible to the crawl). tests/test_serve_protocol.cpp drives
+// ServeCore directly; no sockets, no clocks it does not receive as
+// arguments.
+//
+// SocketServer is the thin transport: one thread, one poll() loop over a
+// Unix or loopback-TCP listening socket, per-connection line buffers
+// with the max_line_bytes cap enforced before parsing, and graceful
+// drain — on SIGTERM (caller-owned flag) or an accepted shutdown
+// request, every session is checkpointed to the spool before exit.
+//
+// Observability: request/error/event counters, request-latency
+// histograms and an active-session gauge through MetricsRegistry.
+// Telemetry observes only — a served crawl's estimates and checkpoints
+// are bit-identical to an offline run of the same spec (CI's serve-smoke
+// job cmp's them byte for byte).
+#pragma once
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/session.hpp"
+
+namespace frontier::serve {
+
+class ServeCore {
+ public:
+  using Clock = Session::Clock;
+
+  /// `metrics` may be nullptr (tests); `now` anchors uptime_seconds.
+  ServeCore(Graph graph, ServeLimits limits, std::string spool_dir,
+            Clock::time_point now, MetricsRegistry* metrics = nullptr);
+
+  struct Outcome {
+    std::string response;  ///< empty iff deferred
+    bool deferred = false;  ///< a step job was queued; response comes later
+    bool shutdown = false;  ///< drain accepted; stop serving after replying
+  };
+
+  /// Handles one request line from connection `conn`. Never throws on
+  /// request bytes — every failure becomes an {"ok":false,...} response.
+  Outcome handle_line(std::uint64_t conn, std::string_view line,
+                      Clock::time_point now);
+
+  [[nodiscard]] bool has_runnable() const noexcept { return !jobs_.empty(); }
+
+  struct Completed {
+    std::uint64_t conn = 0;
+    std::string response;
+  };
+
+  /// Advances the front job by at most limits().slice_events events and
+  /// rotates it to the back; returns the finished step response when the
+  /// job completed. No-op (nullopt) when nothing is runnable.
+  std::optional<Completed> pump_slice(Clock::time_point now);
+
+  /// Drops every pending job of a disconnected client. Progress already
+  /// pumped stays (the session keeps its events); only the response is
+  /// unroutable.
+  void cancel_connection(std::uint64_t conn);
+
+  /// Cancels all jobs and checkpoints every session. Returns the number
+  /// of sessions checkpointed. Safe to call twice (drain is idempotent).
+  std::size_t drain();
+
+  std::size_t evict_idle(Clock::time_point now);
+
+  [[nodiscard]] SessionRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const SessionRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  struct Job {
+    std::uint64_t conn = 0;
+    std::string session;
+    std::uint64_t remaining = 0;
+    std::uint64_t stepped = 0;
+  };
+
+  std::string dispatch(std::uint64_t conn, const Request& req,
+                       Clock::time_point now, bool& deferred, bool& shutdown);
+  std::string step_response(const Session& s, std::uint64_t stepped) const;
+  void update_gauges();
+
+  SessionRegistry registry_;
+  Clock::time_point start_;
+  std::deque<Job> jobs_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t events_pumped_ = 0;
+  bool draining_ = false;
+
+  Counter m_requests_;
+  Counter m_errors_;
+  Counter m_events_;
+  Counter m_evictions_;
+  Gauge m_active_;
+  Gauge m_queue_;
+  Histogram m_request_ns_;
+};
+
+/// Transport configuration: exactly one of `unix_socket` / `tcp_port`.
+/// TCP binds to 127.0.0.1 only — the daemon has no authentication; put a
+/// real proxy in front for anything beyond localhost.
+struct SocketConfig {
+  std::string unix_socket;
+  int tcp_port = 0;
+  int backlog = 16;
+};
+
+class SocketServer {
+ public:
+  /// Binds and listens; throws IoError on any socket failure. `log` may
+  /// be nullptr for silence (the daemon passes std::cerr).
+  SocketServer(ServeCore& core, SocketConfig config, std::ostream* log);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Serves until *stop becomes nonzero (signal handler) or a shutdown
+  /// request is accepted, then drains (checkpoints every session) and
+  /// returns the number of sessions drained.
+  std::size_t run(const volatile std::sig_atomic_t* stop);
+
+  [[nodiscard]] const std::string& address() const noexcept {
+    return address_;
+  }
+
+ private:
+  struct Conn;
+  void accept_new();
+  bool service_input(Conn& c);   // false: close connection
+  bool flush_output(Conn& c);    // false: close connection
+  void close_conn(std::size_t index);
+
+  ServeCore& core_;
+  SocketConfig config_;
+  std::ostream* log_;
+  int listen_fd_ = -1;
+  std::string address_;
+  std::vector<Conn> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace frontier::serve

@@ -1,0 +1,183 @@
+#include "serve/session.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "graph/io.hpp"
+
+namespace frontier::serve {
+
+void ServeLimits::validate() const {
+  if (max_sessions == 0) {
+    throw std::invalid_argument("max-sessions must be at least 1");
+  }
+  if (max_sessions_per_tenant == 0) {
+    throw std::invalid_argument("max-per-tenant must be at least 1");
+  }
+  if (!std::isfinite(max_budget) || max_budget <= 0.0) {
+    throw std::invalid_argument("max-budget must be a positive finite number");
+  }
+  if (max_step_events == 0) {
+    throw std::invalid_argument("max-step-events must be at least 1");
+  }
+  if (slice_events == 0) {
+    throw std::invalid_argument("slice-events must be at least 1");
+  }
+  if (!std::isfinite(idle_timeout_seconds) || idle_timeout_seconds < 0.0) {
+    throw std::invalid_argument(
+        "idle-timeout must be a non-negative finite number");
+  }
+  if (max_line_bytes < 64) {
+    throw std::invalid_argument("max-line-bytes must be at least 64");
+  }
+}
+
+Session::Session(std::string id, std::string tenant, CrawlSpec spec,
+                 const Graph& g, Clock::time_point now)
+    : id_(std::move(id)),
+      tenant_(std::move(tenant)),
+      spec_(spec.normalized()),
+      engine_(spec_.make_engine(g)),
+      last_active_(now) {}
+
+SessionRegistry::SessionRegistry(Graph graph, ServeLimits limits,
+                                 std::string spool_dir)
+    : graph_(std::move(graph)),
+      limits_(limits),
+      spool_dir_(std::move(spool_dir)) {
+  limits_.validate();
+  std::error_code ec;
+  std::filesystem::create_directories(spool_dir_, ec);
+  if (ec) {
+    throw IoError("spool dir: cannot create " + spool_dir_ + ": " +
+                  ec.message());
+  }
+}
+
+std::string SessionRegistry::spool_path(const std::string& id) const {
+  return spool_dir_ + "/" + id + ".ckpt";
+}
+
+Session& SessionRegistry::open(const std::string& id,
+                               const std::string& tenant,
+                               const CrawlSpec& spec, bool resume,
+                               Session::Clock::time_point now) {
+  if (sessions_.find(id) != sessions_.end()) {
+    throw WireError("duplicate-session", "session \"" + id + "\" is open");
+  }
+  if (sessions_.size() >= limits_.max_sessions) {
+    throw WireError("over-quota",
+                    "server session limit reached (max-sessions=" +
+                        std::to_string(limits_.max_sessions) + ")");
+  }
+  if (active_for(tenant) >= limits_.max_sessions_per_tenant) {
+    throw WireError("over-quota",
+                    "tenant \"" + tenant + "\" session limit reached "
+                    "(max-per-tenant=" +
+                        std::to_string(limits_.max_sessions_per_tenant) + ")");
+  }
+  if (spec.budget > limits_.max_budget) {
+    throw WireError("over-quota",
+                    "budget exceeds the per-session cap (max-budget=" +
+                        std::to_string(limits_.max_budget) + ")");
+  }
+
+  auto session = std::make_unique<Session>(id, tenant, spec, graph_, now);
+  if (resume) {
+    const std::string path = spool_path(id);
+    try {
+      session->engine().load_checkpoint_file(path);
+    } catch (const IoError& e) {
+      throw WireError("bad-checkpoint", e.what());
+    }
+  }
+  Session& ref = *session;
+  sessions_.emplace(id, std::move(session));
+  ++opened_;
+  return ref;
+}
+
+Session* SessionRegistry::find(const std::string& id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+Session& SessionRegistry::checked(const std::string& id) {
+  Session* s = find(id);
+  if (s == nullptr) {
+    throw WireError("unknown-session", "no open session \"" + id + "\"");
+  }
+  if (s->busy()) {
+    throw WireError("session-busy",
+                    "session \"" + id + "\" has a step in flight");
+  }
+  return *s;
+}
+
+void SessionRegistry::close(const std::string& id) {
+  (void)checked(id);  // unknown/busy checks
+  sessions_.erase(id);
+  ++closed_;
+}
+
+std::string SessionRegistry::checkpoint(Session& s) {
+  const std::string path = spool_path(s.id());
+  try {
+    s.engine().save_checkpoint_file(path);
+  } catch (const IoError& e) {
+    throw WireError("io-error", e.what());
+  }
+  return path;
+}
+
+std::size_t SessionRegistry::evict_idle(Session::Clock::time_point now) {
+  if (limits_.idle_timeout_seconds <= 0.0) return 0;
+  std::size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& s = *it->second;
+    const double idle =
+        std::chrono::duration<double>(now - s.last_active()).count();
+    if (!s.busy() && idle >= limits_.idle_timeout_seconds) {
+      (void)checkpoint(s);
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  evictions_ += evicted;
+  return evicted;
+}
+
+std::size_t SessionRegistry::drain_all() {
+  std::size_t drained = 0;
+  for (auto& [id, session] : sessions_) {
+    (void)id;
+    (void)checkpoint(*session);
+    ++drained;
+  }
+  return drained;
+}
+
+std::size_t SessionRegistry::active_for(const std::string& tenant) const {
+  std::size_t n = 0;
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    if (session->tenant() == tenant) ++n;
+  }
+  return n;
+}
+
+std::vector<const Session*> SessionRegistry::list() const {
+  std::vector<const Session*> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    out.push_back(session.get());
+  }
+  return out;
+}
+
+}  // namespace frontier::serve

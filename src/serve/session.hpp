@@ -1,0 +1,147 @@
+// Sessions and admission control for the frontier_serve daemon.
+//
+// A Session owns one streaming crawl — cursor + sinks + event counter,
+// wrapped in a StreamEngine — built from a CrawlSpec over the registry's
+// shared graph. The graph is one read-only GraphStorage (typically
+// mmap'd), so a thousand sessions cost a thousand cursor states, not a
+// thousand graphs.
+//
+// The SessionRegistry is the daemon's source of truth: open/close with
+// per-tenant admission control (ServeLimits), idle eviction to spool
+// checkpoint files (an evicted session costs zero bytes of engine state
+// and resumes bit-identically via {"op":"open",...,"resume":true}), and
+// graceful drain (checkpoint everything) for SIGTERM. All of it is
+// driven by caller-supplied steady_clock time points, so tests exercise
+// eviction without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "serve/protocol.hpp"
+#include "stream/engine.hpp"
+#include "stream/spec.hpp"
+
+namespace frontier::serve {
+
+/// Admission-control and transport quotas. Zero means "unlimited" only
+/// where documented; the CLI flags behind these reject zero outright so
+/// a deployment states its limits explicitly.
+struct ServeLimits {
+  std::uint64_t max_sessions = 64;
+  std::uint64_t max_sessions_per_tenant = 16;
+  double max_budget = 1.0e9;  ///< per-session budget cap (queries)
+  std::uint64_t max_step_events = std::uint64_t{1} << 20;  ///< per request
+  std::uint64_t slice_events = std::uint64_t{1} << 14;  ///< scheduler slice
+  double idle_timeout_seconds = 0.0;  ///< 0 = never evict
+  std::uint64_t max_line_bytes = std::uint64_t{1} << 16;
+
+  /// Throws std::invalid_argument on zero/negative/non-finite values
+  /// (idle_timeout_seconds == 0 is the documented "never evict").
+  void validate() const;
+};
+
+class Session {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Session(std::string id, std::string tenant, CrawlSpec spec, const Graph& g,
+          Clock::time_point now);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& tenant() const noexcept { return tenant_; }
+  [[nodiscard]] const CrawlSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] StreamEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const StreamEngine& engine() const noexcept {
+    return *engine_;
+  }
+
+  [[nodiscard]] Clock::time_point last_active() const noexcept {
+    return last_active_;
+  }
+  void touch(Clock::time_point now) noexcept { last_active_ = now; }
+
+  /// A session is busy while a deferred step job is pending on it; busy
+  /// sessions reject every other op and are never evicted.
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  void set_busy(bool b) noexcept { busy_ = b; }
+
+ private:
+  std::string id_;
+  std::string tenant_;
+  CrawlSpec spec_;  // normalized
+  std::unique_ptr<StreamEngine> engine_;
+  Clock::time_point last_active_;
+  bool busy_ = false;
+};
+
+class SessionRegistry {
+ public:
+  /// `spool_dir` receives eviction/drain/checkpoint files
+  /// (<spool>/<session>.ckpt); it is created if missing (IoError if that
+  /// fails). The graph is stored by value — copies share storage.
+  SessionRegistry(Graph graph, ServeLimits limits, std::string spool_dir);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const ServeLimits& limits() const noexcept { return limits_; }
+  [[nodiscard]] const std::string& spool_dir() const noexcept {
+    return spool_dir_;
+  }
+  [[nodiscard]] std::string spool_path(const std::string& id) const;
+
+  /// Admission-checked open. Throws WireError: duplicate-session,
+  /// over-quota (session count, tenant count, budget cap), bad-checkpoint
+  /// (resume against a missing/mismatched spool file).
+  Session& open(const std::string& id, const std::string& tenant,
+                const CrawlSpec& spec, bool resume, Session::Clock::time_point now);
+
+  /// nullptr when unknown.
+  [[nodiscard]] Session* find(const std::string& id);
+
+  /// Throws WireError unknown-session / session-busy.
+  [[nodiscard]] Session& checked(const std::string& id);
+
+  /// Removes the session (its spool checkpoint, if any, is left on disk).
+  /// Throws WireError unknown-session / session-busy.
+  void close(const std::string& id);
+
+  /// Checkpoints to the session's spool path; returns that path. Throws
+  /// WireError io-error on write failure.
+  std::string checkpoint(Session& s);
+
+  /// Checkpoints and destroys every non-busy session idle for longer
+  /// than limits().idle_timeout_seconds. Returns the eviction count.
+  std::size_t evict_idle(Session::Clock::time_point now);
+
+  /// Checkpoints every session (graceful drain). Returns the count.
+  std::size_t drain_all();
+
+  [[nodiscard]] std::size_t active() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] std::size_t active_for(const std::string& tenant) const;
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
+  [[nodiscard]] std::uint64_t opened() const noexcept { return opened_; }
+  [[nodiscard]] std::uint64_t closed() const noexcept { return closed_; }
+
+  /// Session pointers in id order (stats rendering, tests).
+  [[nodiscard]] std::vector<const Session*> list() const;
+
+ private:
+  Graph graph_;
+  ServeLimits limits_;
+  std::string spool_dir_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t closed_ = 0;
+};
+
+}  // namespace frontier::serve

@@ -59,6 +59,16 @@ class Parser {
       pos_ += 4;
       return Value{};
     }
+    if (c == 't' || c == 'f') {
+      const bool is_true = c == 't';
+      const std::string_view want = is_true ? "true" : "false";
+      if (text_.substr(pos_, want.size()) != want) fail("unknown literal");
+      pos_ += want.size();
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.flag = is_true;
+      return v;
+    }
     if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
     fail("unexpected character");
   }
@@ -234,6 +244,8 @@ std::string number(double value) {
   return std::string(buf, res.ptr);
 }
 
+std::string boolean(bool value) { return value ? "true" : "false"; }
+
 std::string quote(std::string_view s) {
   std::string out = "\"";
   for (const char c : s) {
@@ -335,6 +347,15 @@ std::uint64_t as_u64(const Value& v, const std::string& what,
 std::uint64_t get_u64(const Value& obj, const std::string& key,
                       std::string_view context) {
   return as_u64(member(obj, key, context), "\"" + key + "\"", context);
+}
+
+bool get_bool(const Value& obj, const std::string& key,
+              std::string_view context) {
+  const Value& v = member(obj, key, context);
+  if (v.kind != Value::Kind::kBool) {
+    schema_fail(context, "\"" + key + "\" must be true or false");
+  }
+  return v.flag;
 }
 
 }  // namespace frontier::json

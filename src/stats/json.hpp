@@ -1,8 +1,10 @@
 // Minimal JSON reader/writer shared by the schema-validated telemetry
-// formats (stats/bench_report.* and obs/snapshot.*).
+// formats (stats/bench_report.*, obs/snapshot.*) and the frontier_serve
+// wire protocol (serve/protocol.*).
 //
 // The reader covers exactly the documents our writers emit — objects,
-// arrays, strings, numbers, null — and keeps each number's raw text so
+// arrays, strings, numbers, booleans, null — and keeps each number's raw
+// text so
 // 64-bit integers survive the round trip exactly. Every entry point takes
 // a `context` string that prefixes error messages, so callers can wrap
 // ParseError into their own schema-error types without losing the
@@ -26,9 +28,10 @@ class ParseError : public std::runtime_error {
 };
 
 struct Value {
-  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
   Kind kind = Kind::kNull;
-  std::string text;  // number: raw text; string: decoded contents
+  bool flag = false;  // meaningful iff kind == kBool
+  std::string text;   // number: raw text; string: decoded contents
   std::vector<Value> items;
   std::vector<std::pair<std::string, Value>> members;
 };
@@ -42,6 +45,9 @@ struct Value {
 
 /// Shortest round-trip decimal for a finite double; "null" otherwise.
 [[nodiscard]] std::string number(double value);
+
+/// "true" / "false".
+[[nodiscard]] std::string boolean(bool value);
 
 /// Escapes and double-quotes a string.
 [[nodiscard]] std::string quote(std::string_view s);
@@ -75,6 +81,9 @@ void require_exact_keys(const Value& obj, const std::vector<std::string>& keys,
 
 [[nodiscard]] std::uint64_t get_u64(const Value& obj, const std::string& key,
                                     std::string_view context);
+
+[[nodiscard]] bool get_bool(const Value& obj, const std::string& key,
+                            std::string_view context);
 
 /// Unsigned integer from a bare Value (array elements, not object members).
 [[nodiscard]] std::uint64_t as_u64(const Value& v, const std::string& what,

@@ -1,0 +1,134 @@
+// cli/options.hpp contract: the declared CommandSpec is the whole
+// parser — unknown flags, missing values, malformed numbers and
+// out-of-range values are rejected with UsageError naming the flag, and
+// the typed accessors refuse undeclared or wrong-typed access outright
+// (std::logic_error — a tool bug, not user input).
+#include "cli/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace frontier::cli {
+namespace {
+
+CommandSpec demo_spec() {
+  return {.program = "demo",
+          .command = "crawl",
+          .summary = "demo command",
+          .positionals = {{.name = "input"}},
+          .options = {
+              {.name = "flag", .type = OptionType::kFlag, .help = "a flag"},
+              {.name = "count",
+               .type = OptionType::kU64,
+               .value_name = "N",
+               .min_u64 = 1},
+              {.name = "rate",
+               .type = OptionType::kDouble,
+               .value_name = "R",
+               .min_double = 0.0,
+               .has_min_double = true,
+               .exclusive_min = true},
+              {.name = "label", .type = OptionType::kString},
+              {.name = "out", .type = OptionType::kPath},
+          }};
+}
+
+TEST(CliOptions, ParsesTypedOptionsAndPositionals) {
+  const CommandSpec spec = demo_spec();  // ParsedArgs borrows the spec
+  const ParsedArgs args = spec.parse(
+      {"in.txt", "--flag", "--count", "7", "--rate=0.5", "--label", "x"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "in.txt");
+  EXPECT_TRUE(args.get_flag("flag"));
+  EXPECT_EQ(args.get_u64("count", 0), 7u);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(args.get_string("label", ""), "x");
+  EXPECT_TRUE(args.has("count"));
+  EXPECT_FALSE(args.has("out"));
+}
+
+TEST(CliOptions, FallbacksWhenAbsent) {
+  const CommandSpec spec = demo_spec();
+  const ParsedArgs args = spec.parse({"in.txt"});
+  EXPECT_FALSE(args.get_flag("flag"));
+  EXPECT_EQ(args.get_u64("count", 42), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(args.get_path("out", "dflt"), "dflt");
+}
+
+TEST(CliOptions, RejectsUnknownOptionWithUsage) {
+  try {
+    (void)demo_spec().parse({"in.txt", "--bogus"});
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown option --bogus"), std::string::npos);
+    EXPECT_NE(what.find("usage: demo crawl"), std::string::npos);
+  }
+}
+
+TEST(CliOptions, RejectsDuplicateMissingValueAndFlagValue) {
+  EXPECT_THROW((void)demo_spec().parse({"a", "--count", "1", "--count", "2"}),
+               UsageError);
+  EXPECT_THROW((void)demo_spec().parse({"a", "--label"}), UsageError);
+  EXPECT_THROW((void)demo_spec().parse({"a", "--flag=1"}), UsageError);
+}
+
+TEST(CliOptions, EnforcesPositionalArity) {
+  EXPECT_THROW((void)demo_spec().parse({}), UsageError);
+  EXPECT_THROW((void)demo_spec().parse({"a", "b"}), UsageError);
+  CommandSpec variadic = demo_spec();
+  variadic.variadic_positionals = true;
+  EXPECT_EQ(variadic.parse({"a", "b", "c"}).positional().size(), 3u);
+}
+
+TEST(CliOptions, StrictU64) {
+  EXPECT_EQ(parse_u64("n", "0"), 0u);
+  EXPECT_EQ(parse_u64("n", "18446744073709551615"),
+            18446744073709551615ull);
+  EXPECT_THROW((void)parse_u64("n", "banana"), UsageError);
+  EXPECT_THROW((void)parse_u64("n", "-1"), UsageError);
+  EXPECT_THROW((void)parse_u64("n", "1.5"), UsageError);
+  EXPECT_THROW((void)parse_u64("n", ""), UsageError);
+  EXPECT_THROW((void)parse_u64("n", "18446744073709551616"), UsageError);
+  EXPECT_THROW((void)parse_u64("n", "0", 1), UsageError);  // below min
+}
+
+TEST(CliOptions, StrictDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("x", "2.25"), 2.25);
+  EXPECT_THROW((void)parse_double("x", "nope"), UsageError);
+  EXPECT_THROW((void)parse_double("x", "1.5y"), UsageError);
+  EXPECT_THROW((void)parse_double("x", "inf"), UsageError);
+  EXPECT_THROW((void)parse_double("x", "-1", true, 0.0, false), UsageError);
+  EXPECT_THROW((void)parse_double("x", "0", true, 0.0, true), UsageError);
+  EXPECT_DOUBLE_EQ(parse_double("x", "0", true, 0.0, false), 0.0);
+}
+
+TEST(CliOptions, OptionBoundsComeFromTheSpec) {
+  EXPECT_THROW((void)demo_spec().parse({"a", "--count", "0"}), UsageError);
+  EXPECT_THROW((void)demo_spec().parse({"a", "--rate", "0"}), UsageError);
+  EXPECT_THROW((void)demo_spec().parse({"a", "--rate", "-2"}), UsageError);
+}
+
+TEST(CliOptions, TypedAccessGuards) {
+  const CommandSpec spec = demo_spec();
+  const ParsedArgs args = spec.parse({"in.txt", "--count", "3"});
+  EXPECT_THROW((void)args.get_u64("undeclared", 0), std::logic_error);
+  EXPECT_THROW((void)args.has("undeclared"), std::logic_error);
+  EXPECT_THROW((void)args.get_string("count", ""), std::logic_error);
+  EXPECT_THROW((void)args.get_flag("count"), std::logic_error);
+}
+
+TEST(CliOptions, UsageListsEveryOption) {
+  const std::string usage = demo_spec().usage();
+  for (const char* name : {"--flag", "--count", "--rate", "--label", "--out"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(usage.find("<input>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frontier::cli

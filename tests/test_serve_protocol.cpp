@@ -1,0 +1,348 @@
+// frontier_serve contract tests, transport-free: ServeCore is driven
+// line by line with injected steady_clock time points, so session
+// lifecycle (open → step → checkpoint → evict → resume → close),
+// admission control, the malformed-request suite and the
+// served-vs-offline bit-identity guarantee are all exercised without
+// sockets or sleeps.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "serve/protocol.hpp"
+#include "stream/spec.hpp"
+
+namespace frontier::serve {
+namespace {
+
+using Clock = ServeCore::Clock;
+
+Graph test_graph() {
+  Rng rng(77);
+  return barabasi_albert(200, 3, rng);
+}
+
+Clock::time_point at(int seconds) {
+  return Clock::time_point{} + std::chrono::seconds(seconds);
+}
+
+ServeLimits small_limits() {
+  ServeLimits limits;
+  limits.max_sessions = 4;
+  limits.max_sessions_per_tenant = 2;
+  limits.max_budget = 1.0e6;
+  limits.slice_events = 64;  // force multi-slice scheduling in tests
+  return limits;
+}
+
+std::string spool_dir(const std::string& name) {
+  return ::testing::TempDir() + "serve_spool_" + name;
+}
+
+/// Sends one line and, if it defers a step job, pumps until that job's
+/// response arrives. Other sessions' jobs may complete first; every
+/// completion is appended to *all (when given).
+std::string roundtrip(ServeCore& core, const std::string& line,
+                      Clock::time_point now = at(0)) {
+  const ServeCore::Outcome out = core.handle_line(1, line, now);
+  if (!out.deferred) return out.response;
+  while (core.has_runnable()) {
+    if (auto done = core.pump_slice(now)) return done->response;
+  }
+  ADD_FAILURE() << "deferred step never completed: " << line;
+  return {};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string open_line(const std::string& session, const std::string& method,
+                      double budget, std::uint64_t seed,
+                      const std::string& extra = "") {
+  return "{\"op\":\"open\",\"session\":\"" + session + "\",\"method\":\"" +
+         method + "\",\"budget\":" + std::to_string(budget) +
+         ",\"seed\":" + std::to_string(seed) + extra + "}";
+}
+
+// ---------------------------------------------------------------------------
+// parse_request
+
+TEST(ServeProtocol, ParsesEveryOp) {
+  const Request open = parse_request(
+      R"({"op":"open","session":"s1","method":"fs","budget":500,"seed":3,"dimension":10,"motifs":true,"tenant":"t1","resume":false})");
+  EXPECT_EQ(open.op, Op::kOpen);
+  EXPECT_EQ(open.session, "s1");
+  EXPECT_EQ(open.tenant, "t1");
+  EXPECT_EQ(open.spec.method, "fs");
+  EXPECT_DOUBLE_EQ(open.spec.budget, 500.0);
+  EXPECT_EQ(open.spec.seed, 3u);
+  EXPECT_EQ(open.spec.dimension, 10u);
+  EXPECT_TRUE(open.spec.motifs);
+  EXPECT_FALSE(open.resume);
+
+  const Request step =
+      parse_request(R"({"op":"step","session":"s1","events":250})");
+  EXPECT_EQ(step.op, Op::kStep);
+  EXPECT_EQ(step.events, 250u);
+
+  EXPECT_EQ(parse_request(R"({"op":"estimates","session":"s1"})").op,
+            Op::kEstimates);
+  EXPECT_EQ(parse_request(R"({"op":"checkpoint","session":"s1"})").op,
+            Op::kCheckpoint);
+  EXPECT_EQ(parse_request(R"({"op":"close","session":"s1"})").op, Op::kClose);
+  EXPECT_EQ(parse_request(R"({"op":"stats"})").op, Op::kStats);
+  EXPECT_EQ(parse_request(R"({"op":"shutdown"})").op, Op::kShutdown);
+}
+
+TEST(ServeProtocol, DefaultsTenantAndValidatesIdentifiers) {
+  EXPECT_EQ(parse_request(open_line("a.b-c_9", "srw", 10, 1)).tenant,
+            "default");
+  EXPECT_TRUE(valid_identifier("x"));
+  EXPECT_FALSE(valid_identifier(""));
+  EXPECT_FALSE(valid_identifier(".hidden"));
+  EXPECT_FALSE(valid_identifier("a/b"));
+  EXPECT_FALSE(valid_identifier(std::string(65, 'a')));
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  const std::vector<std::string> bad = {
+      "",                                          // empty
+      "not json",                                  // garbage
+      "[1,2,3]",                                   // not an object
+      R"({"op":"fly"})",                           // unknown op
+      R"({"op":"open"})",                          // missing keys
+      R"({"op":"step","session":"s"})",            // missing events
+      R"({"op":"step","session":"s","events":0})", // zero events
+      R"({"op":"step","session":"s","events":-4})",    // negative
+      R"({"op":"step","session":"s","events":2.5})",   // fractional
+      R"({"op":"stats","extra":1})",               // unknown key
+      R"({"op":"close","session":"../etc"})",      // path-like id
+      R"({"op":"open","session":"s","method":"zz","budget":5,"seed":1})",
+      R"({"op":"open","session":"s","method":"fs","budget":0,"seed":1})",
+      R"({"op":"open","session":"s","method":"fs","budget":5,"seed":1,"motifs":"yes"})",
+      R"({"op":"step","session":"s","events":1)",  // truncated
+  };
+  for (const std::string& line : bad) {
+    try {
+      (void)parse_request(line);
+      ADD_FAILURE() << "accepted: " << line;
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.code(), "bad-request") << line;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServeCore dispatch
+
+TEST(ServeCore, MalformedLinesBecomeErrorResponsesNeverThrows) {
+  ServeCore core(test_graph(), small_limits(), spool_dir("malformed"), at(0));
+  const std::string resp = roundtrip(core, "garbage");
+  EXPECT_EQ(resp.rfind("{\"ok\":false,\"error\":\"bad-request\"", 0), 0u)
+      << resp;
+  const std::string long_line(1 << 17, 'x');
+  EXPECT_NE(roundtrip(core, long_line).find("line-too-long"),
+            std::string::npos);
+  EXPECT_NE(
+      roundtrip(core, R"({"op":"estimates","session":"ghost"})")
+          .find("unknown-session"),
+      std::string::npos);
+}
+
+TEST(ServeCore, LifecycleOpenStepEstimatesCheckpointClose) {
+  ServeCore core(test_graph(), small_limits(), spool_dir("lifecycle"), at(0));
+  const std::string opened =
+      roundtrip(core, open_line("s1", "fs", 800, 7, ",\"dimension\":20"));
+  EXPECT_EQ(opened.rfind("{\"ok\":true,\"op\":\"open\"", 0), 0u) << opened;
+  EXPECT_NE(opened.find("\"resumed\":false"), std::string::npos);
+  EXPECT_NE(opened.find("\"events\":0"), std::string::npos);
+
+  // 250 events across 64-event slices: exact count, multiple slices.
+  const std::string stepped =
+      roundtrip(core, R"({"op":"step","session":"s1","events":250})");
+  EXPECT_NE(stepped.find("\"stepped\":250"), std::string::npos) << stepped;
+  EXPECT_NE(stepped.find("\"events\":250"), std::string::npos);
+  EXPECT_NE(stepped.find("\"done\":false"), std::string::npos);
+
+  const std::string estimates =
+      roundtrip(core, R"({"op":"estimates","session":"s1"})");
+  EXPECT_NE(estimates.find("\"estimates\":{"), std::string::npos);
+
+  const std::string ckpt =
+      roundtrip(core, R"({"op":"checkpoint","session":"s1"})");
+  EXPECT_NE(ckpt.find("\"path\":"), std::string::npos);
+  EXPECT_FALSE(
+      read_file(core.registry().spool_path("s1")).empty());
+
+  EXPECT_NE(roundtrip(core, R"({"op":"close","session":"s1"})")
+                .find("\"events\":250"),
+            std::string::npos);
+  EXPECT_NE(roundtrip(core, R"({"op":"close","session":"s1"})")
+                .find("unknown-session"),
+            std::string::npos);
+}
+
+TEST(ServeCore, BusySessionsRejectOtherOpsUntilStepCompletes) {
+  ServeCore core(test_graph(), small_limits(), spool_dir("busy"), at(0));
+  (void)roundtrip(core, open_line("s1", "srw", 500, 1));
+  const ServeCore::Outcome step = core.handle_line(
+      1, R"({"op":"step","session":"s1","events":200})", at(0));
+  ASSERT_TRUE(step.deferred);
+  const ServeCore::Outcome rejected =
+      core.handle_line(1, R"({"op":"estimates","session":"s1"})", at(0));
+  EXPECT_NE(rejected.response.find("session-busy"), std::string::npos);
+  while (core.has_runnable()) (void)core.pump_slice(at(0));
+  EXPECT_EQ(roundtrip(core, R"({"op":"estimates","session":"s1"})")
+                .rfind("{\"ok\":true", 0),
+            0u);
+}
+
+TEST(ServeCore, AdmissionControl) {
+  ServeCore core(test_graph(), small_limits(), spool_dir("admission"), at(0));
+  EXPECT_EQ(roundtrip(core, open_line("a1", "srw", 100, 1)).rfind(
+                "{\"ok\":true", 0),
+            0u);
+  EXPECT_NE(roundtrip(core, open_line("a1", "srw", 100, 1))
+                .find("duplicate-session"),
+            std::string::npos);
+  (void)roundtrip(core, open_line("a2", "srw", 100, 1));
+  // Tenant "default" is at its cap of 2; other tenants still admitted.
+  EXPECT_NE(roundtrip(core, open_line("a3", "srw", 100, 1))
+                .find("over-quota"),
+            std::string::npos);
+  EXPECT_EQ(roundtrip(core,
+                      open_line("b1", "srw", 100, 1, ",\"tenant\":\"t2\""))
+                .rfind("{\"ok\":true", 0),
+            0u);
+  (void)roundtrip(core, open_line("b2", "srw", 100, 1, ",\"tenant\":\"t3\""));
+  // Server-wide cap of 4 sessions.
+  EXPECT_NE(roundtrip(core, open_line("c1", "srw", 100, 1,
+                                      ",\"tenant\":\"t4\""))
+                .find("over-quota"),
+            std::string::npos);
+  // Budget above the per-session cap.
+  (void)roundtrip(core, R"({"op":"close","session":"a1"})");
+  EXPECT_NE(roundtrip(core, open_line("a9", "srw", 1.0e7, 1))
+                .find("over-quota"),
+            std::string::npos);
+  // Oversized single step.
+  const std::string big_step = R"({"op":"step","session":"a2","events":)" +
+                               std::to_string((1ull << 20) + 1) + "}";
+  EXPECT_NE(roundtrip(core, big_step).find("over-quota"), std::string::npos);
+}
+
+TEST(ServeCore, IdleEvictionCheckpointsAndResumeRestores) {
+  ServeLimits limits = small_limits();
+  limits.idle_timeout_seconds = 10.0;
+  const std::string spool = spool_dir("evict");
+  ServeCore core(test_graph(), limits, spool, at(0));
+  (void)roundtrip(core, open_line("s1", "mrw", 600, 5, ",\"dimension\":8"));
+  (void)roundtrip(core, R"({"op":"step","session":"s1","events":200})",
+                  at(1));
+
+  EXPECT_EQ(core.evict_idle(at(5)), 0u);   // not idle long enough
+  EXPECT_EQ(core.evict_idle(at(30)), 1u);  // evicted to the spool
+  EXPECT_NE(roundtrip(core, R"({"op":"estimates","session":"s1"})", at(30))
+                .find("unknown-session"),
+            std::string::npos);
+
+  const std::string resumed = roundtrip(
+      core,
+      open_line("s1", "mrw", 600, 5, ",\"dimension\":8,\"resume\":true"),
+      at(31));
+  EXPECT_NE(resumed.find("\"resumed\":true"), std::string::npos) << resumed;
+  EXPECT_NE(resumed.find("\"events\":200"), std::string::npos);
+
+  // Resuming a session that never spooled is a bad-checkpoint error.
+  EXPECT_NE(roundtrip(core, open_line("ghost", "srw", 100, 1,
+                                      ",\"resume\":true"),
+                      at(31))
+                .find("bad-checkpoint"),
+            std::string::npos);
+}
+
+TEST(ServeCore, ShutdownDrainsEverySessionAndRefusesNewWork) {
+  ServeCore core(test_graph(), small_limits(), spool_dir("drain"), at(0));
+  (void)roundtrip(core, open_line("d1", "srw", 300, 1));
+  (void)roundtrip(core, open_line("d2", "fs", 300, 2, ",\"dimension\":5"));
+  const ServeCore::Outcome bye =
+      core.handle_line(1, R"({"op":"shutdown"})", at(2));
+  EXPECT_TRUE(bye.shutdown);
+  EXPECT_NE(bye.response.find("\"drained\":2"), std::string::npos);
+  EXPECT_FALSE(read_file(core.registry().spool_path("d1")).empty());
+  EXPECT_FALSE(read_file(core.registry().spool_path("d2")).empty());
+  EXPECT_NE(roundtrip(core, R"({"op":"stats"})", at(2)).find("shutting-down"),
+            std::string::npos);
+}
+
+TEST(ServeCore, StatsReportsSessionsAndCounters) {
+  ServeCore core(test_graph(), small_limits(), spool_dir("stats"), at(0));
+  (void)roundtrip(core, open_line("s1", "rwj", 400, 3));
+  const std::string stats = roundtrip(core, R"({"op":"stats"})", at(9));
+  EXPECT_NE(stats.find("\"protocol\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"active_sessions\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"uptime_seconds\":9"), std::string::npos);
+  EXPECT_NE(stats.find("\"session\":\"s1\""), std::string::npos);
+  EXPECT_NE(stats.find("\"method\":\"rwj\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: a served session must match an offline CrawlSpec run —
+// same estimates text, same mid-crawl checkpoint bytes — for all five
+// cursor types.
+
+TEST(ServeCore, ServedCrawlsAreBitIdenticalToOfflineForAllMethods) {
+  const Graph g = test_graph();
+  for (const std::string& method : CrawlSpec::methods()) {
+    SCOPED_TRACE(method);
+
+    // Offline half: pump exactly 250 events, checkpoint, finish.
+    CrawlSpec spec;
+    spec.method = method;
+    spec.budget = 700.0;
+    spec.dimension = 16;
+    spec.seed = 9;
+    spec = spec.normalized();
+    const auto offline = spec.make_engine(g);
+    (void)offline->pump(250);
+    const std::string offline_ckpt =
+        ::testing::TempDir() + "offline_" + method + ".ckpt";
+    offline->save_checkpoint_file(offline_ckpt);
+    (void)offline->run_to_completion();
+    const std::string offline_estimates = estimates_fields(spec, *offline);
+
+    // Served half: same spec through the wire protocol.
+    ServeCore core(g, small_limits(), spool_dir("ident_" + method), at(0));
+    (void)roundtrip(core,
+                    open_line("s", method, 700, 9, ",\"dimension\":16"));
+    (void)roundtrip(core, R"({"op":"step","session":"s","events":250})");
+    (void)roundtrip(core, R"({"op":"checkpoint","session":"s"})");
+    EXPECT_EQ(read_file(core.registry().spool_path("s")),
+              read_file(offline_ckpt))
+        << "mid-crawl checkpoint bytes diverged";
+
+    const std::string finish =
+        roundtrip(core, R"({"op":"step","session":"s","events":1000000})");
+    EXPECT_NE(finish.find("\"done\":true"), std::string::npos) << finish;
+    const std::string served =
+        roundtrip(core, R"({"op":"estimates","session":"s"})");
+    EXPECT_NE(served.find(offline_estimates), std::string::npos)
+        << "served estimates diverged from offline:\n"
+        << served << "\nvs\n"
+        << offline_estimates;
+  }
+}
+
+}  // namespace
+}  // namespace frontier::serve

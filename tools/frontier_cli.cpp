@@ -25,19 +25,26 @@
 //   frontier_cli stream <edges.txt> [--method fs|srw|mrw|mh|rwj]
 //                [--budget N] [--dimension M] [--seed S] [--motifs]
 //                [--checkpoint out.ckpt] [--resume in.ckpt]
-//                [--checkpoint-every N] [--metrics out.jsonl]
-//                [--metrics-every SEC] [--progress]
+//                [--checkpoint-every N] [--stop-after N]
+//                [--estimates-json out.json]
+//                [--metrics out.jsonl] [--metrics-every SEC] [--progress]
 //       Crawl with the streaming engine (O(1)-in-budget memory): online
 //       estimator sinks instead of a materialized sample, with optional
-//       periodic checkpoints and pause/resume. --motifs adds the full
-//       3-/4-vertex motif census sink (and its exact baseline columns).
-//       --metrics streams schema-v1 telemetry snapshots (obs/snapshot.hpp)
-//       to a JSONL file ("-" = stderr) every --metrics-every seconds
-//       (default 1); --progress traces live events/s, frontier size,
-//       revisit rate and estimate drift to stderr. Telemetry observes from
-//       outside the sampling loop: estimates, RNG stream and checkpoint
-//       bytes are bit-identical with and without it (CI compares the
-//       checkpoints byte for byte).
+//       periodic checkpoints and pause/resume. The crawl itself is built
+//       from a CrawlSpec (stream/spec.hpp) — the same construction path
+//       the frontier_serve daemon uses, so a served session with the same
+//       (method, budget, dimension, seed, motifs) tuple is bit-identical
+//       to an offline run. --stop-after N pauses after the crawl's first
+//       N events (writing --checkpoint if given); --estimates-json writes
+//       the machine-readable estimates the serve `estimates` op returns.
+//       --motifs adds the full 3-/4-vertex motif census sink (and its
+//       exact baseline columns). --metrics streams schema-v1 telemetry
+//       snapshots (obs/snapshot.hpp) to a JSONL file ("-" = stderr) every
+//       --metrics-every seconds (default 1; 0 = every poll); --progress
+//       traces live events/s, frontier size, revisit rate and estimate
+//       drift to stderr. Telemetry observes from outside the sampling
+//       loop: estimates, RNG stream and checkpoint bytes are bit-identical
+//       with and without it (CI compares the checkpoints byte for byte).
 //   frontier_cli metrics-summary <metrics.jsonl>...
 //       Validate metrics JSONL files (every line must round-trip the
 //       schema; truncated or garbage lines are rejected with their line
@@ -46,14 +53,16 @@
 //   Every subcommand that loads a graph accepts --mmap: the input must be
 //   a v2 .bin snapshot, which is served zero-copy from the page cache
 //   (O(1) load time); loading fails instead of silently rebuilding.
+//
+//   Option parsing is declarative (cli/options.hpp): each subcommand owns
+//   a CommandSpec, unknown flags and malformed or out-of-range values are
+//   rejected with the flag's name and the generated usage block.
+#include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <cstdio>
-#include <cstring>
+#include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
-#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -64,107 +73,70 @@ namespace {
 
 using namespace frontier;
 
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> options;
+using cli::CommandSpec;
+using cli::OptionSpec;
+using cli::OptionType;
+using cli::ParsedArgs;
 
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
-  }
-  [[nodiscard]] double get_num(const std::string& key, double fallback) const {
-    const auto it = options.find(key);
-    if (it == options.end()) return fallback;
-    try {
-      std::size_t consumed = 0;
-      const double value = std::stod(it->second, &consumed);
-      if (consumed != it->second.size()) {
-        throw std::invalid_argument("trailing characters");
-      }
-      return value;
-    } catch (const std::exception&) {
-      throw std::invalid_argument("--" + key + " expects a number, got '" +
-                                  it->second + "'");
-    }
-  }
-  /// Non-negative integer option; rejects values a u64 cast would mangle.
-  [[nodiscard]] std::uint64_t get_count(const std::string& key,
-                                        std::uint64_t fallback) const {
-    if (options.find(key) == options.end()) return fallback;
-    const double value = get_num(key, 0.0);
-    if (value < 0.0 || value > 9.0e18 || value != std::floor(value)) {
-      throw std::invalid_argument("--" + key +
-                                  " expects a non-negative integer");
-    }
-    return static_cast<std::uint64_t>(value);
-  }
-};
-
-/// Flags that never take a value, so "--mmap graph.bin" keeps the path as
-/// a positional argument.
-bool is_boolean_flag(const std::string& key) {
-  return key == "mmap" || key == "motifs" || key == "progress";
+// Shared option rows, spliced into each subcommand's table.
+OptionSpec opt_mmap() {
+  return {.name = "mmap",
+          .type = OptionType::kFlag,
+          .help = "require a zero-copy mmap load (.bin v2 snapshot)"};
+}
+OptionSpec opt_method(const char* values) {
+  return {.name = "method",
+          .type = OptionType::kString,
+          .value_name = "M",
+          .help = std::string("sampler: ") + values + " (default fs)"};
+}
+OptionSpec opt_budget() {
+  return {.name = "budget",
+          .type = OptionType::kDouble,
+          .value_name = "B",
+          .help = "total budgeted queries (default |V|/100)",
+          .min_double = 0.0,
+          .has_min_double = true,
+          .exclusive_min = true};
+}
+OptionSpec opt_dimension() {
+  return {.name = "dimension",
+          .type = OptionType::kU64,
+          .value_name = "M",
+          .help = "walkers for fs/mrw (default 100)",
+          .min_u64 = 1};
+}
+OptionSpec opt_seed() {
+  return {.name = "seed",
+          .type = OptionType::kU64,
+          .value_name = "S",
+          .help = "RNG seed (default 1)"};
 }
 
-Args parse_args(int argc, char** argv, int first) {
-  Args args;
-  for (int i = first; i < argc; ++i) {
-    const std::string token = argv[i];
-    if (token.rfind("--", 0) == 0) {
-      const std::string key = token.substr(2);
-      if (!is_boolean_flag(key) && i + 1 < argc &&
-          std::strncmp(argv[i + 1], "--", 2) != 0) {
-        args.options[key] = argv[++i];
-      } else {
-        args.options[key] = "1";
-      }
-    } else {
-      args.positional.push_back(token);
-    }
+/// Builds the crawl description shared by sample/stream: budget defaults
+/// to |V|/100, the dimension clamp keeps the old CLI behavior (and its
+/// stderr note). The returned spec is normalized() — ready for
+/// make_cursor/make_engine.
+CrawlSpec crawl_spec(const ParsedArgs& args, const Graph& g) {
+  CrawlSpec spec;
+  spec.method = args.get_string("method", "fs");
+  spec.budget = args.get_double(
+      "budget", static_cast<double>(g.num_vertices()) / 100.0);
+  spec.dimension = static_cast<std::size_t>(args.get_u64("dimension", 100));
+  spec.seed = args.get_u64("seed", 1);
+  bool clamped = false;
+  CrawlSpec out = spec.normalized(&clamped);
+  if (clamped) {
+    std::cerr << "note: dimension clamped to " << out.dimension
+              << " so walkers keep at least half the budget for steps\n";
   }
-  return args;
+  return out;
 }
 
-Graph load(const Args& args, const std::string& path) {
-  const bool want_mmap = args.options.count("mmap") != 0;
-  const bool is_bin =
-      path.size() > 4 && path.substr(path.size() - 4) == ".bin";
-  if (want_mmap && !is_bin) {
-    throw std::invalid_argument(
-        "--mmap requires a .bin snapshot (create one with: frontier_cli "
-        "convert " +
-        path + " graph.bin)");
-  }
-  Graph g = is_bin ? read_binary_file(path) : read_edge_list_file(path);
-  if (want_mmap && !g.is_memory_mapped()) {
-#if FRONTIER_HAS_MMAP
-    throw std::invalid_argument(
-        "--mmap: " + path +
-        " is a legacy v1 snapshot; re-write it as v2 with convert");
-#else
-    throw std::invalid_argument(
-        "--mmap: memory-mapped loading is unavailable on this platform");
-#endif
-  }
-  return g;
-}
-
-void save(const Graph& g, const std::string& path) {
-  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
-    write_binary_file(g, path);
-  } else {
-    write_edge_list_file(g, path);
-  }
-}
-
-int cmd_summarize(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: frontier_cli summarize <edges.txt>\n";
-    return 2;
-  }
-  const Graph g = load(args, args.positional[0]);
-  const GraphSummary s = summarize(g, args.positional[0]);
+int cmd_summarize(const ParsedArgs& args) {
+  const std::string& path = args.positional()[0];
+  const Graph g = cli::load_graph(path, args.get_flag("mmap"));
+  const GraphSummary s = summarize(g, path);
   const ComponentInfo comps = connected_components(g);
 
   TextTable table({"characteristic", "value"});
@@ -182,78 +154,41 @@ int cmd_summarize(const Args& args) {
   return 0;
 }
 
-// Shared crawl setup of the sample/stream subcommands: input graph,
-// budget (default |V|/100), walker count (clamped so walkers keep at
-// least half the budget for steps), and the seeded RNG. `walk_steps` is
-// the single-walker step count B - 1, clamped at 0 for sub-unit budgets.
-struct CrawlSetup {
-  Graph graph;
-  std::string method;
-  double budget = 0.0;
-  std::size_t dimension = 0;
-  std::uint64_t walk_steps = 0;
-  Rng rng;
-};
-
-CrawlSetup crawl_setup(const Args& args) {
-  CrawlSetup s{.graph = load(args, args.positional[0]),
-               .method = args.get("method", "fs"),
-               .rng = Rng(args.get_count("seed", 1))};
-  s.budget = args.get_num(
-      "budget", static_cast<double>(s.graph.num_vertices()) / 100.0);
-  if (s.budget > 9.0e18) {
-    throw std::invalid_argument("--budget too large");
-  }
-  s.dimension = static_cast<std::size_t>(args.get_count("dimension", 100));
-  if (static_cast<double>(s.dimension) * 2.0 > s.budget) {
-    s.dimension =
-        std::max<std::size_t>(1, static_cast<std::size_t>(s.budget / 2.0));
-    std::cerr << "note: dimension clamped to " << s.dimension
-              << " so walkers keep at least half the budget for steps\n";
-  }
-  s.walk_steps =
-      s.budget >= 1.0 ? static_cast<std::uint64_t>(s.budget) - 1 : 0;
-  return s;
-}
-
-int cmd_sample(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: frontier_cli sample <edges.txt> [--method fs] "
-                 "[--budget N] [--dimension M] [--seed S]\n";
-    return 2;
-  }
-  CrawlSetup s = crawl_setup(args);
-  const Graph& g = s.graph;
-  const std::string& method = s.method;
-  const double budget = s.budget;
-  const std::size_t m = s.dimension;
-  Rng& rng = s.rng;
+int cmd_sample(const ParsedArgs& args) {
+  const Graph g =
+      cli::load_graph(args.positional()[0], args.get_flag("mmap"));
+  const CrawlSpec spec = crawl_spec(args, g);
+  const double budget = spec.budget;
+  const std::size_t m = spec.dimension;
+  Rng rng(spec.seed);
 
   SampleRecord rec;
-  if (method == "fs") {
+  if (spec.method == "fs") {
     const FrontierSampler fs(
         g, {.dimension = m, .steps = frontier_steps(budget, m, 1.0)});
     rec = fs.run(rng);
-  } else if (method == "srw") {
-    const SingleRandomWalk srw(g, {.steps = s.walk_steps});
+  } else if (spec.method == "srw") {
+    const SingleRandomWalk srw(g, {.steps = spec.walk_steps()});
     rec = srw.run(rng);
-  } else if (method == "mrw") {
+  } else if (spec.method == "mrw") {
     const MultipleRandomWalks mrw(
         g, {.num_walkers = m,
             .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)});
     rec = mrw.run(rng);
-  } else if (method == "mh") {
-    const MetropolisHastingsWalk mh(g, {.steps = s.walk_steps});
+  } else if (spec.method == "mh") {
+    const MetropolisHastingsWalk mh(g, {.steps = spec.walk_steps()});
     rec = mh.run(rng);
   } else {
-    std::cerr << "unknown method: " << method << "\n";
+    // "rwj" passes CrawlSpec::validate() but has no offline SampleRecord
+    // runner — it exists only as a streaming cursor.
+    std::cerr << "unknown method: " << spec.method << "\n";
     return 2;
   }
 
-  std::cout << "method=" << method << " budget=" << budget
+  std::cout << "method=" << spec.method << " budget=" << budget
             << " sampled_edges=" << rec.edges.size() << "\n\n";
   TextTable table({"characteristic", "estimate", "exact"});
-  if (method == "mh") {
+  if (spec.method == "mh") {
     table.add_row({"avg degree",
                    format_number(estimate_average_degree_uniform(
                        g, rec.vertices)),
@@ -273,84 +208,28 @@ int cmd_sample(const Args& args) {
   return 0;
 }
 
-int cmd_stream(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: frontier_cli stream <edges.txt> [--method fs] "
-                 "[--budget N] [--dimension M] [--seed S] [--motifs] "
-                 "[--checkpoint out.ckpt] [--resume in.ckpt] "
-                 "[--checkpoint-every N] [--metrics out.jsonl] "
-                 "[--metrics-every SEC] [--progress]\n";
-    return 2;
-  }
-  const std::string metrics_path = args.get("metrics", "");
-  const double metrics_every = args.get_num("metrics-every", 1.0);
-  const bool want_progress = args.options.count("progress") != 0;
+int cmd_stream(const ParsedArgs& args) {
+  const std::string metrics_path = args.get_path("metrics");
+  const double metrics_every = args.get_double("metrics-every", 1.0);
+  const bool want_progress = args.get_flag("progress");
   // Enable the library seams (graph-load telemetry) before the graph loads.
   if (!metrics_path.empty()) set_metrics_enabled(true);
-  CrawlSetup s = crawl_setup(args);
-  const Graph& g = s.graph;
-  const std::string& method = s.method;
-  const double budget = s.budget;
-  const std::size_t m = s.dimension;
+  const Graph g =
+      cli::load_graph(args.positional()[0], args.get_flag("mmap"));
+  CrawlSpec spec = crawl_spec(args, g);
+  spec.motifs = args.get_flag("motifs");
 
-  std::unique_ptr<SamplerCursor> cursor;
-  if (method == "fs") {
-    cursor = std::make_unique<FrontierCursor>(
-        g,
-        FrontierSampler::Config{.dimension = m,
-                                .steps = frontier_steps(budget, m, 1.0)},
-        s.rng);
-  } else if (method == "srw") {
-    cursor = std::make_unique<SingleRwCursor>(
-        g, SingleRandomWalk::Config{.steps = s.walk_steps}, s.rng);
-  } else if (method == "mrw") {
-    cursor = std::make_unique<MultipleRwCursor>(
-        g,
-        MultipleRandomWalks::Config{
-            .num_walkers = m,
-            .steps_per_walker = multiple_rw_steps_per_walker(budget, m, 1.0)},
-        s.rng);
-  } else if (method == "mh") {
-    cursor = std::make_unique<MetropolisCursor>(
-        g, MetropolisHastingsWalk::Config{.steps = s.walk_steps}, s.rng);
-  } else if (method == "rwj") {
-    cursor = std::make_unique<RwjCursor>(
-        g, RandomWalkWithJumps::Config{.budget = budget}, s.rng);
-  } else {
-    std::cerr << "unknown method: " << method << "\n";
-    return 2;
-  }
-
-  SinkSet sinks;
-  auto degree_sink =
-      std::make_unique<DegreeDistributionSink>(g, DegreeKind::kSymmetric);
-  auto assort_sink = std::make_unique<AssortativitySink>(g);
-  auto moments_sink = std::make_unique<GraphMomentsSink>(g);
-  auto uniform_sink = std::make_unique<UniformDegreeSink>(g);
-  auto triangle_sink = std::make_unique<TriangleSink>(g);
-  auto clustering_sink = std::make_unique<ClusteringSink>(g);
-  const AssortativitySink* assort = assort_sink.get();
-  const GraphMomentsSink* moments = moments_sink.get();
-  const UniformDegreeSink* uniform = uniform_sink.get();
-  const TriangleSink* triangles = triangle_sink.get();
-  const ClusteringSink* clustering = clustering_sink.get();
-  sinks.push_back(std::move(degree_sink));
-  sinks.push_back(std::move(assort_sink));
-  sinks.push_back(std::move(moments_sink));
-  sinks.push_back(std::move(uniform_sink));
-  sinks.push_back(std::move(triangle_sink));
-  sinks.push_back(std::move(clustering_sink));
-  // The full motif census walks two-hop neighborhoods per event, so it
-  // is opt-in; note a checkpoint written with --motifs only resumes with
-  // --motifs (the sink roster is part of the checkpoint identity).
-  const bool want_motifs = args.options.count("motifs") != 0;
-  const MotifSink* motifs = nullptr;
-  if (want_motifs) {
-    auto motif_sink = std::make_unique<MotifSink>(g);
-    motifs = motif_sink.get();
-    sinks.push_back(std::move(motif_sink));
-  }
-  StreamEngine engine(std::move(cursor), std::move(sinks));
+  const std::unique_ptr<StreamEngine> engine_ptr = spec.make_engine(g);
+  StreamEngine& engine = *engine_ptr;
+  // Typed views into the fixed sink roster (see CrawlSpec::make_sinks).
+  const auto& sinks = engine.sinks();
+  const auto* assort = static_cast<const AssortativitySink*>(sinks[1].get());
+  const auto* moments = static_cast<const GraphMomentsSink*>(sinks[2].get());
+  const auto* uniform = static_cast<const UniformDegreeSink*>(sinks[3].get());
+  const auto* triangles = static_cast<const TriangleSink*>(sinks[4].get());
+  const auto* clustering = static_cast<const ClusteringSink*>(sinks[5].get());
+  const auto* motifs =
+      spec.motifs ? static_cast<const MotifSink*>(sinks[6].get()) : nullptr;
 
   // Telemetry rides outside the sampling loop (see obs/crawl_metrics.hpp):
   // attaching it never touches the RNG stream or the sink accumulators.
@@ -366,15 +245,16 @@ int cmd_stream(const Args& args) {
                                                  metrics_path, metrics_every);
   }
 
-  const std::string resume = args.get("resume", "");
+  const std::string resume = args.get_path("resume");
   if (!resume.empty()) {
     engine.load_checkpoint_file(resume);
     std::cout << "resumed from " << resume << " at event " << engine.events()
               << "\n";
   }
 
-  const std::string checkpoint = args.get("checkpoint", "");
-  const std::uint64_t checkpoint_every = args.get_count("checkpoint-every", 0);
+  const std::string checkpoint = args.get_path("checkpoint");
+  const std::uint64_t checkpoint_every = args.get_u64("checkpoint-every", 0);
+  const std::uint64_t stop_after = args.get_u64("stop-after", 0);
   constexpr std::uint64_t kChunk = 1 << 16;
   std::uint64_t next_checkpoint =
       checkpoint_every == 0
@@ -385,10 +265,14 @@ int cmd_stream(const Args& args) {
   const auto t0 = std::chrono::steady_clock::now();
   auto last_progress = t0;
   const double exact_deg = g.average_degree();
-  while (!engine.finished()) {
+  while (!engine.finished() &&
+         (stop_after == 0 || engine.events() < stop_after)) {
     std::uint64_t chunk = kChunk;
     if (next_checkpoint != 0 && !checkpoint.empty()) {
       chunk = std::min(chunk, next_checkpoint - engine.events());
+    }
+    if (stop_after != 0) {
+      chunk = std::min(chunk, stop_after - engine.events());
     }
     engine.pump(chunk);
     if (next_checkpoint != 0 && !checkpoint.empty() &&
@@ -406,8 +290,9 @@ int cmd_stream(const Args& args) {
         const double rate =
             static_cast<double>(engine.events() - resumed_events) /
             std::max(run_seconds, 1e-9);
-        const double est_deg = method == "mh" ? uniform->value()
-                                              : moments->average_degree();
+        const double est_deg = spec.method == "mh"
+                                   ? uniform->value()
+                                   : moments->average_degree();
         const double drift =
             exact_deg > 0.0 ? (est_deg - exact_deg) / exact_deg : 0.0;
         std::cerr << "progress: events=" << engine.events() << " ("
@@ -421,6 +306,9 @@ int cmd_stream(const Args& args) {
   }
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - t0;
+  if (stop_after != 0 && !engine.finished()) {
+    std::cout << "stopped after " << engine.events() << " events\n";
+  }
   if (!checkpoint.empty()) {
     engine.save_checkpoint_file(checkpoint);
     std::cout << "checkpoint written to " << checkpoint << "\n";
@@ -432,8 +320,22 @@ int cmd_stream(const Args& args) {
                 << exporter->lines_written() << " snapshots)\n";
     }
   }
+  // The same renderer the serve `estimates` op uses — byte-identical for
+  // bit-identical engine states, which is what CI's serve-smoke cmp's.
+  const std::string estimates_json = args.get_path("estimates-json");
+  if (!estimates_json.empty()) {
+    std::ofstream out(estimates_json);
+    if (!out) {
+      throw IoError("estimates: cannot open " + estimates_json);
+    }
+    out << "{" << estimates_fields(spec, engine) << "}\n";
+    if (!out.flush()) {
+      throw IoError("estimates: cannot write " + estimates_json);
+    }
+    std::cout << "estimates written to " << estimates_json << "\n";
+  }
 
-  std::cout << "method=" << method << " budget=" << budget
+  std::cout << "method=" << spec.method << " budget=" << spec.budget
             << " events=" << engine.events()
             << " cost=" << engine.cursor().cost() << " ("
             << format_number(
@@ -441,7 +343,7 @@ int cmd_stream(const Args& args) {
                    std::max(elapsed.count(), 1e-9))
             << " events/s this run)\n\n";
   TextTable table({"characteristic", "estimate", "exact"});
-  if (method == "mh") {
+  if (spec.method == "mh") {
     table.add_row({"avg degree", format_number(uniform->value()),
                    format_number(g.average_degree())});
   } else {
@@ -482,16 +384,17 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
-int cmd_generate(const Args& args) {
-  const std::string model = args.get("model", "ba");
-  const auto n = static_cast<std::size_t>(args.get_num("n", 10000));
-  const double param = args.get_num("param", 3);
-  const std::string out = args.get("out", "");
+int cmd_generate(const ParsedArgs& args) {
+  const std::string model = args.get_string("model", "ba");
+  const auto n = static_cast<std::size_t>(args.get_u64("n", 10000));
+  const double param = args.get_double("param", 3);
+  const std::string out = args.get_path("out");
   if (out.empty()) {
     std::cerr << "generate: --out <path> is required\n";
     return 2;
   }
-  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 1)));
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  Rng rng(seed);
   Graph g;
   if (model == "ba") {
     g = barabasi_albert(n, static_cast<std::size_t>(param), rng);
@@ -500,34 +403,26 @@ int cmd_generate(const Args& args) {
   } else if (model == "ws") {
     g = watts_strogatz(n, static_cast<std::size_t>(param), 0.1, rng);
   } else if (model == "gab") {
-    g = make_gab(n / 2, static_cast<std::uint64_t>(args.get_num("seed", 1)))
-            .graph;
+    g = make_gab(n / 2, seed).graph;
   } else {
     std::cerr << "unknown model: " << model << "\n";
     return 2;
   }
-  save(g, out);
+  cli::save_graph(g, out);
   std::cout << "wrote " << g.summary() << " to " << out << "\n";
   return 0;
 }
 
-int cmd_convert(const Args& args) {
-  if (args.positional.size() != 2) {
-    std::cerr << "usage: frontier_cli convert <in> <out>\n";
-    return 2;
-  }
-  const Graph g = load(args, args.positional[0]);
-  save(g, args.positional[1]);
+int cmd_convert(const ParsedArgs& args) {
+  const Graph g =
+      cli::load_graph(args.positional()[0], args.get_flag("mmap"));
+  cli::save_graph(g, args.positional()[1]);
   std::cout << "converted " << g.summary() << "\n";
   return 0;
 }
 
-int cmd_spectral(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: frontier_cli spectral <edges.txt>\n";
-    return 2;
-  }
-  Graph g = load(args, args.positional[0]);
+int cmd_spectral(const ParsedArgs& args) {
+  Graph g = cli::load_graph(args.positional()[0], args.get_flag("mmap"));
   if (!is_connected(g)) {
     std::cout << "graph is disconnected; analyzing the LCC\n";
     g = largest_connected_component(g).graph;
@@ -548,14 +443,10 @@ int cmd_spectral(const Args& args) {
   return 0;
 }
 
-int cmd_bench_report(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: frontier_cli bench-report <report.json>...\n";
-    return 2;
-  }
+int cmd_bench_report(const ParsedArgs& args) {
   TextTable table({"file", "bench", "version", "wall s", "metrics",
                    "fingerprint"});
-  for (const std::string& path : args.positional) {
+  for (const std::string& path : args.positional()) {
     BenchReport report;
     try {
       report = BenchReport::read_file(path);
@@ -572,17 +463,13 @@ int cmd_bench_report(const Args& args) {
                    std::to_string(report.metrics.size()), fp});
   }
   table.print(std::cout);
-  std::cout << args.positional.size() << " valid bench report"
-            << (args.positional.size() == 1 ? "" : "s") << "\n";
+  std::cout << args.positional().size() << " valid bench report"
+            << (args.positional().size() == 1 ? "" : "s") << "\n";
   return 0;
 }
 
-int cmd_metrics_summary(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: frontier_cli metrics-summary <metrics.jsonl>...\n";
-    return 2;
-  }
-  for (const std::string& path : args.positional) {
+int cmd_metrics_summary(const ParsedArgs& args) {
+  for (const std::string& path : args.positional()) {
     std::vector<MetricsSnapshot> snapshots;
     try {
       snapshots = read_metrics_jsonl(path);
@@ -627,6 +514,129 @@ int cmd_metrics_summary(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Subcommand registry: the declared spec is both the parser and the docs.
+
+struct Subcommand {
+  CommandSpec spec;
+  int (*run)(const ParsedArgs&) = nullptr;
+};
+
+std::vector<Subcommand> subcommands() {
+  std::vector<Subcommand> cmds;
+  cmds.push_back(
+      {{.program = "frontier_cli",
+        .command = "summarize",
+        .summary = "exact graph characteristics",
+        .positionals = {{.name = "edges.txt"}},
+        .options = {opt_mmap()}},
+       &cmd_summarize});
+  cmds.push_back(
+      {{.program = "frontier_cli",
+        .command = "sample",
+        .summary = "crawl and print estimate-vs-exact characteristics",
+        .positionals = {{.name = "edges.txt"}},
+        .options = {opt_method("fs|srw|mrw|mh"), opt_budget(),
+                    opt_dimension(), opt_seed(), opt_mmap()}},
+       &cmd_sample});
+  cmds.push_back(
+      {{.program = "frontier_cli",
+        .command = "stream",
+        .summary = "streaming crawl with online sinks, checkpoint/resume",
+        .positionals = {{.name = "edges.txt"}},
+        .options =
+            {opt_method("fs|srw|mrw|mh|rwj"), opt_budget(), opt_dimension(),
+             opt_seed(),
+             {.name = "motifs",
+              .type = OptionType::kFlag,
+              .help = "add the 3-/4-vertex motif census sink"},
+             {.name = "checkpoint",
+              .type = OptionType::kPath,
+              .value_name = "FILE",
+              .help = "write a checkpoint at the end (and periodically)"},
+             {.name = "resume",
+              .type = OptionType::kPath,
+              .value_name = "FILE",
+              .help = "resume from a checkpoint before crawling"},
+             {.name = "checkpoint-every",
+              .type = OptionType::kU64,
+              .value_name = "N",
+              .help = "checkpoint every N events (requires --checkpoint)",
+              .min_u64 = 1},
+             {.name = "stop-after",
+              .type = OptionType::kU64,
+              .value_name = "N",
+              .help = "pause once the crawl reaches N total events",
+              .min_u64 = 1},
+             {.name = "estimates-json",
+              .type = OptionType::kPath,
+              .value_name = "FILE",
+              .help = "write machine-readable estimates (serve schema)"},
+             {.name = "metrics",
+              .type = OptionType::kPath,
+              .value_name = "FILE",
+              .help = "stream telemetry snapshots to a JSONL file, - = stderr"},
+             {.name = "metrics-every",
+              .type = OptionType::kDouble,
+              .value_name = "SEC",
+              .help = "seconds between snapshots (default 1, 0 = every poll)",
+              .min_double = 0.0,
+              .has_min_double = true},
+             {.name = "progress",
+              .type = OptionType::kFlag,
+              .help = "trace live crawl progress to stderr"},
+             opt_mmap()}},
+       &cmd_stream});
+  cmds.push_back(
+      {{.program = "frontier_cli",
+        .command = "generate",
+        .summary = "write a synthetic graph",
+        .options = {{.name = "model",
+                     .type = OptionType::kString,
+                     .value_name = "M",
+                     .help = "ba|er|ws|gab (default ba)"},
+                    {.name = "n",
+                     .type = OptionType::kU64,
+                     .value_name = "N",
+                     .help = "vertices (default 10000)",
+                     .min_u64 = 1},
+                    {.name = "param",
+                     .type = OptionType::kDouble,
+                     .value_name = "P",
+                     .help = "model parameter (default 3)"},
+                    opt_seed(),
+                    {.name = "out",
+                     .type = OptionType::kPath,
+                     .value_name = "FILE",
+                     .help = "output path (required)"}}},
+       &cmd_generate});
+  cmds.push_back({{.program = "frontier_cli",
+                   .command = "convert",
+                   .summary = "convert between .txt and .bin by extension",
+                   .positionals = {{.name = "in"}, {.name = "out"}},
+                   .options = {opt_mmap()}},
+                  &cmd_convert});
+  cmds.push_back({{.program = "frontier_cli",
+                   .command = "spectral",
+                   .summary = "spectral gap of the RW kernel",
+                   .positionals = {{.name = "edges.txt"}},
+                   .options = {opt_mmap()}},
+                  &cmd_spectral});
+  cmds.push_back({{.program = "frontier_cli",
+                   .command = "bench-report",
+                   .summary = "validate bench reports (schema v1)",
+                   .positionals = {{.name = "report.json"}},
+                   .variadic_positionals = true},
+                  &cmd_bench_report});
+  cmds.push_back({{.program = "frontier_cli",
+                   .command = "metrics-summary",
+                   .summary = "validate and summarize metrics JSONL files",
+                   .positionals = {{.name = "metrics.jsonl"}},
+                   .variadic_positionals = true},
+                  &cmd_metrics_summary});
+  return cmds;
+}
+
 void usage() {
   std::cerr << "frontier_cli "
                "<summarize|sample|stream|generate|convert|spectral|"
@@ -644,15 +654,11 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
-    const Args args = parse_args(argc, argv, 2);
-    if (cmd == "summarize") return cmd_summarize(args);
-    if (cmd == "sample") return cmd_sample(args);
-    if (cmd == "stream") return cmd_stream(args);
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "convert") return cmd_convert(args);
-    if (cmd == "spectral") return cmd_spectral(args);
-    if (cmd == "bench-report") return cmd_bench_report(args);
-    if (cmd == "metrics-summary") return cmd_metrics_summary(args);
+    for (const Subcommand& sub : subcommands()) {
+      if (sub.spec.command == cmd) {
+        return sub.run(sub.spec.parse(argc, argv, 2));
+      }
+    }
   } catch (const IoError& e) {
     // Missing/corrupt input files and broken checkpoints: report and exit
     // nonzero instead of aborting with an uncaught exception.

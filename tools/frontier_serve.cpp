@@ -1,0 +1,393 @@
+// frontier_serve — sampling as a service: a long-running daemon that
+// multiplexes concurrent crawl sessions over one shared (typically
+// mmap'd) graph.
+//
+//   frontier_serve <graph> (--socket PATH | --port N) [options]
+//       Serve the wire protocol (serve/protocol.hpp, newline-delimited
+//       JSON) on a Unix socket or loopback TCP. Each session is one
+//       streaming crawl built from the same CrawlSpec path as
+//       `frontier_cli stream` — a served session is bit-identical to an
+//       offline run of the same (method, budget, dimension, seed,
+//       motifs) tuple. Admission control (--max-sessions,
+//       --max-per-tenant, --max-budget), fair scheduling
+//       (--slice-events), idle eviction to spool checkpoints
+//       (--idle-timeout), and graceful drain on SIGTERM/SIGINT or
+//       {"op":"shutdown"} — every open session is checkpointed to
+//       --spool before exit and resumes with {"op":"open",...,
+//       "resume":true}.
+//
+//   frontier_serve --connect (--socket PATH | --port N) [--script FILE]
+//                  [--save-estimates DIR] [--expect-ok]
+//       Scripted client, one request line per response line: sends each
+//       non-comment line of FILE (default stdin) and prints the
+//       response. --expect-ok exits nonzero on the first {"ok":false}
+//       response; --save-estimates writes every estimates response as
+//       DIR/<session>.json in exactly the format `frontier_cli stream
+//       --estimates-json` writes, so CI can cmp served and offline
+//       estimates byte for byte.
+//
+// The full protocol specification lives in docs/SERVER.md.
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "stats/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FRONTIER_SERVE_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define FRONTIER_SERVE_HAS_SOCKETS 0
+#endif
+
+namespace {
+
+using namespace frontier;
+
+using cli::CommandSpec;
+using cli::OptionType;
+using cli::ParsedArgs;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+CommandSpec daemon_spec() {
+  return {
+      .program = "frontier_serve",
+      .summary = "serve concurrent sampling sessions over a socket",
+      .positionals = {{.name = "graph"}},
+      .options = {
+          {.name = "socket",
+           .type = OptionType::kPath,
+           .value_name = "PATH",
+           .help = "listen on a Unix socket at PATH"},
+          {.name = "port",
+           .type = OptionType::kU64,
+           .value_name = "N",
+           .help = "listen on 127.0.0.1:N instead of a Unix socket",
+           .min_u64 = 1},
+          {.name = "spool",
+           .type = OptionType::kPath,
+           .value_name = "DIR",
+           .help = "checkpoint spool directory (default serve-spool)"},
+          {.name = "mmap",
+           .type = OptionType::kFlag,
+           .help = "require a zero-copy mmap load (.bin v2 snapshot)"},
+          {.name = "max-sessions",
+           .type = OptionType::kU64,
+           .value_name = "N",
+           .help = "server-wide open-session cap (default 64)",
+           .min_u64 = 1},
+          {.name = "max-per-tenant",
+           .type = OptionType::kU64,
+           .value_name = "N",
+           .help = "per-tenant open-session cap (default 16)",
+           .min_u64 = 1},
+          {.name = "max-budget",
+           .type = OptionType::kDouble,
+           .value_name = "B",
+           .help = "per-session budget cap (default 1e9)",
+           .min_double = 0.0,
+           .has_min_double = true,
+           .exclusive_min = true},
+          {.name = "max-step-events",
+           .type = OptionType::kU64,
+           .value_name = "N",
+           .help = "largest single step request (default 1048576)",
+           .min_u64 = 1},
+          {.name = "slice-events",
+           .type = OptionType::kU64,
+           .value_name = "N",
+           .help = "scheduler slice per session (default 16384)",
+           .min_u64 = 1},
+          {.name = "idle-timeout",
+           .type = OptionType::kDouble,
+           .value_name = "SEC",
+           .help = "evict idle sessions to the spool (default 0 = never)",
+           .min_double = 0.0,
+           .has_min_double = true},
+          {.name = "max-line-bytes",
+           .type = OptionType::kU64,
+           .value_name = "N",
+           .help = "request line length cap (default 65536)",
+           .min_u64 = 64},
+          {.name = "metrics",
+           .type = OptionType::kPath,
+           .value_name = "FILE",
+           .help = "write a schema-v1 telemetry snapshot at shutdown"},
+      }};
+}
+
+CommandSpec client_spec() {
+  return {
+      .program = "frontier_serve",
+      .summary = "scripted client for a running frontier_serve daemon",
+      .options = {
+          {.name = "connect",
+           .type = OptionType::kFlag,
+           .help = "client mode: send a request script, print responses"},
+          {.name = "socket",
+           .type = OptionType::kPath,
+           .value_name = "PATH",
+           .help = "connect to a Unix socket at PATH"},
+          {.name = "port",
+           .type = OptionType::kU64,
+           .value_name = "N",
+           .help = "connect to 127.0.0.1:N instead of a Unix socket",
+           .min_u64 = 1},
+          {.name = "script",
+           .type = OptionType::kPath,
+           .value_name = "FILE",
+           .help = "request lines, one per line (default stdin; # comments)"},
+          {.name = "save-estimates",
+           .type = OptionType::kPath,
+           .value_name = "DIR",
+           .help = "write estimates responses as DIR/<session>.json"},
+          {.name = "expect-ok",
+           .type = OptionType::kFlag,
+           .help = "exit nonzero on the first {\"ok\":false} response"},
+      }};
+}
+
+/// Both modes: exactly one of --socket / --port, checked up front so the
+/// failure is a usage error, not a late socket error.
+void require_one_endpoint(const CommandSpec& spec, const ParsedArgs& args) {
+  if (args.has("socket") == args.has("port")) {
+    throw cli::UsageError("exactly one of --socket and --port is required\n" +
+                          spec.usage());
+  }
+  if (args.has("port") && args.get_u64("port", 0) > 65535) {
+    throw cli::UsageError("--port must be at most 65535\n" + spec.usage());
+  }
+}
+
+int run_daemon(const CommandSpec& spec, const ParsedArgs& args) {
+  require_one_endpoint(spec, args);
+  const std::string metrics_path = args.get_path("metrics");
+  // Enable the library seams (graph-load telemetry) before the graph loads.
+  if (!metrics_path.empty()) set_metrics_enabled(true);
+  std::unique_ptr<MetricsExporter> exporter;
+  if (!metrics_path.empty()) {
+    exporter = std::make_unique<MetricsExporter>(MetricsRegistry::global(),
+                                                 metrics_path, 0.0);
+  }
+
+  Graph g = cli::load_graph(args.positional()[0], args.get_flag("mmap"));
+  std::cerr << "frontier_serve: " << g.summary()
+            << (g.is_memory_mapped() ? " (mmap)" : "") << "\n";
+
+  serve::ServeLimits limits;
+  limits.max_sessions = args.get_u64("max-sessions", limits.max_sessions);
+  limits.max_sessions_per_tenant =
+      args.get_u64("max-per-tenant", limits.max_sessions_per_tenant);
+  limits.max_budget = args.get_double("max-budget", limits.max_budget);
+  limits.max_step_events =
+      args.get_u64("max-step-events", limits.max_step_events);
+  limits.slice_events = args.get_u64("slice-events", limits.slice_events);
+  limits.idle_timeout_seconds =
+      args.get_double("idle-timeout", limits.idle_timeout_seconds);
+  limits.max_line_bytes =
+      args.get_u64("max-line-bytes", limits.max_line_bytes);
+
+  serve::ServeCore core(std::move(g), limits,
+                        args.get_path("spool", "serve-spool"),
+                        serve::ServeCore::Clock::now(),
+                        &MetricsRegistry::global());
+  serve::SocketServer server(
+      core,
+      serve::SocketConfig{
+          .unix_socket = args.get_path("socket"),
+          .tcp_port = static_cast<int>(args.get_u64("port", 0))},
+      &std::cerr);
+
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGINT, handle_stop);
+#ifdef SIGPIPE
+  // A client that disconnects mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
+  (void)server.run(&g_stop);
+  if (exporter) exporter->export_now();
+  return 0;
+}
+
+#if FRONTIER_SERVE_HAS_SOCKETS
+
+int connect_to(const CommandSpec& spec, const ParsedArgs& args) {
+  require_one_endpoint(spec, args);
+  int fd = -1;
+  if (args.has("socket")) {
+    const std::string path = args.get_path("socket");
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw IoError("connect: unix path too long: " + path);
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      throw IoError("connect: " + path + ": " + std::strerror(errno));
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(args.get_u64("port", 0)));
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      throw IoError("connect: 127.0.0.1:" +
+                    std::to_string(args.get_u64("port", 0)) + ": " +
+                    std::strerror(errno));
+    }
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("connect: write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_line(int fd, std::string& buffer) {
+  while (true) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("connect: read: ") + std::strerror(errno));
+    }
+    if (n == 0) throw IoError("connect: server closed the connection");
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// Extracts the estimates-file payload from an estimates response. The
+/// response is `{"ok":true,"op":"estimates","session":S,"events":...}`;
+/// the file format `frontier_cli stream --estimates-json` writes is
+/// `{"events":...}` — the same renderer (estimates_fields) produced both
+/// textures, so slicing the envelope off reproduces the offline file
+/// byte for byte.
+std::string estimates_file_body(const std::string& response) {
+  const std::size_t start = response.find("\"events\":");
+  if (start == std::string::npos || response.empty() ||
+      response.back() != '}') {
+    throw IoError("connect: malformed estimates response: " + response);
+  }
+  return "{" + response.substr(start, response.size() - start - 1) + "}\n";
+}
+
+int run_client(const CommandSpec& spec, const ParsedArgs& args) {
+  const std::string script_path = args.get_path("script");
+  std::ifstream script_file;
+  if (!script_path.empty()) {
+    script_file.open(script_path);
+    if (!script_file) {
+      throw IoError("connect: cannot open script " + script_path);
+    }
+  }
+  std::istream& script = script_path.empty() ? std::cin : script_file;
+
+  const std::string estimates_dir = args.get_path("save-estimates");
+  if (!estimates_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(estimates_dir, ec);
+    if (ec) {
+      throw IoError("connect: cannot create " + estimates_dir + ": " +
+                    ec.message());
+    }
+  }
+  const bool expect_ok = args.get_flag("expect-ok");
+
+  const int fd = connect_to(spec, args);
+  std::string buffer;
+  std::string line;
+  int status = 0;
+  while (std::getline(script, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    send_all(fd, line + "\n");
+    const std::string response = recv_line(fd, buffer);
+    std::cout << response << "\n";
+    if (expect_ok && response.rfind("{\"ok\":false", 0) == 0) {
+      std::cerr << "connect: request failed: " << line << "\n";
+      status = 1;
+      break;
+    }
+    if (!estimates_dir.empty() &&
+        response.rfind("{\"ok\":true,\"op\":\"estimates\"", 0) == 0) {
+      // The session id names the output file; parse-don't-scan for it.
+      const json::Value doc = json::parse(response, "serve response");
+      const std::string session =
+          json::get_string(doc, "session", "serve response");
+      const std::string path = estimates_dir + "/" + session + ".json";
+      std::ofstream out(path);
+      if (!out || !(out << estimates_file_body(response)).flush()) {
+        throw IoError("connect: cannot write " + path);
+      }
+    }
+  }
+  (void)::close(fd);
+  return status;
+}
+
+#else  // !FRONTIER_SERVE_HAS_SOCKETS
+
+int run_client(const CommandSpec&, const ParsedArgs&) {
+  throw IoError("connect: no socket support on this platform");
+}
+
+#endif  // FRONTIER_SERVE_HAS_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool client = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--connect") client = true;
+  }
+  try {
+    const CommandSpec spec = client ? client_spec() : daemon_spec();
+    const ParsedArgs args = spec.parse(argc, argv, 1);
+    return client ? run_client(spec, args) : run_daemon(spec, args);
+  } catch (const IoError& e) {
+    std::cerr << "io error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bad argument: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
