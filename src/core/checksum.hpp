@@ -1,0 +1,45 @@
+// CRC-64 (ECMA-182 polynomial, reflected — the xz/"CRC-64/XZ" variant)
+// over a byte span. Used by the checkpoint trailer to reject torn or
+// bit-flipped files before any field is parsed. Table-driven,
+// byte-at-a-time: checkpoints are small (KBs), so simplicity wins over
+// a sliced-by-8 kernel.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace frontier {
+
+namespace detail {
+
+inline constexpr std::uint64_t kCrc64Poly = 0xc96c5795d7870f42ULL;
+
+inline constexpr std::array<std::uint64_t, 256> make_crc64_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) != 0 ? kCrc64Poly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint64_t, 256> kCrc64Table =
+    make_crc64_table();
+
+}  // namespace detail
+
+/// CRC-64/XZ of `size` bytes at `data` (init and final xor 0xFF..FF).
+[[nodiscard]] inline std::uint64_t crc64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = ~0ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = detail::kCrc64Table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace frontier

@@ -1,0 +1,141 @@
+#include "core/durable.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/failpoint.hpp"
+#include "core/io_error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FRONTIER_DURABLE_POSIX 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FRONTIER_DURABLE_POSIX 0
+#include <fstream>
+#endif
+
+namespace frontier {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw IoError("durable write: " + what + " failed for " + path + ": " +
+                std::strerror(errno));
+}
+
+std::string parent_of(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+#if FRONTIER_DURABLE_POSIX
+
+// RAII fd so every error path closes.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// write(2) the whole buffer, retrying EINTR and partial writes. The
+// durable.write failpoint can fake one EINTR return or tear the write
+// short by one byte (the torn byte never survives: the tmp file is
+// rewritten from scratch on every attempt, so short-write only matters
+// when paired with a later kill9/abort — exactly the torn-file case the
+// checkpoint trailer must catch).
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t off = 0;
+  bool teared = false;
+  while (off < size) {
+    std::size_t want = size - off;
+    switch (FRONTIER_FAILPOINT_KIND("durable.write")) {
+      case failpoint::Fault::kEintr:
+        errno = EINTR;
+        continue;  // exactly what a real EINTR does: retry
+      case failpoint::Fault::kShortWrite:
+        if (!teared && want > 1) {
+          want = 1;  // deliver one byte this round; loop resumes after
+          teared = true;
+        }
+        break;
+      default:
+        break;
+    }
+    ssize_t n = ::write(fd, data + off, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_fd(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) fail("fsync", path);
+}
+
+#endif  // FRONTIER_DURABLE_POSIX
+
+}  // namespace
+
+void fsync_parent_dir(const std::string& path) {
+#if FRONTIER_DURABLE_POSIX
+  FRONTIER_FAILPOINT("durable.dirsync");
+  std::string dir = parent_of(path);
+  Fd d;
+  d.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (d.fd < 0) fail("open parent dir", dir);
+  fsync_fd(d.fd, dir);
+#else
+  (void)path;
+#endif
+}
+
+void durable_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+#if FRONTIER_DURABLE_POSIX
+  {
+    FRONTIER_FAILPOINT("durable.open");
+    Fd f;
+    f.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+    if (f.fd < 0) fail("open", tmp);
+    write_all(f.fd, bytes.data(), bytes.size(), tmp);
+    FRONTIER_FAILPOINT("durable.fsync");
+    fsync_fd(f.fd, tmp);
+  }
+  FRONTIER_FAILPOINT("durable.rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("rename", path);
+  }
+  fsync_parent_dir(path);
+#else
+  FRONTIER_FAILPOINT("durable.open");
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) fail("open", tmp);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    FRONTIER_FAILPOINT("durable.fsync");
+    f.flush();
+    if (!f) fail("write", tmp);
+  }
+  FRONTIER_FAILPOINT("durable.rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("rename", path);
+  }
+#endif
+}
+
+}  // namespace frontier

@@ -1,0 +1,41 @@
+// Crash-safe file replacement.
+//
+// durable_write_file(path, bytes) guarantees that after it returns,
+// `path` contains exactly `bytes` even across power loss, and that a
+// crash at any interior moment leaves either the old content or the new
+// content — never a torn mix. The protocol is the classic one:
+//
+//   1. write bytes to `path + ".tmp"`
+//   2. fsync the tmp file        (data durable before it can be visible)
+//   3. rename tmp over `path`    (atomic swap on POSIX)
+//   4. fsync the parent directory (the rename itself durable)
+//
+// Every writer that replaces a file the system later reads back —
+// stream checkpoints, the serve spool, estimate/report JSON — must go
+// through here; frontier_lint's durable-file-replacement rule flags raw
+// ofstream+rename swaps elsewhere. Failpoint sites (durable.open,
+// durable.write, durable.fsync, durable.rename, durable.dirsync) cover
+// each step so tests and the crash harness can kill or fail the process
+// between any two of them.
+//
+// On non-POSIX builds the fsync steps degrade to flush-and-rename (no
+// durability claim, same atomic-visibility behavior).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace frontier {
+
+/// Atomically and durably replaces `path` with `bytes`. Throws IoError
+/// (with path and errno text) if any step fails; on throw, `path` is
+/// untouched (a stale `path + ".tmp"` may remain and is overwritten by
+/// the next attempt).
+void durable_write_file(const std::string& path, std::string_view bytes);
+
+/// fsyncs the directory containing `path` (no-op on non-POSIX). Exposed
+/// for writers that create files without replacing (e.g. spool removal
+/// bookkeeping). Throws IoError on failure.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace frontier

@@ -1,0 +1,304 @@
+#include "core/failpoint.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/io_error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FRONTIER_FAILPOINT_HAVE_KILL 1
+#else
+#define FRONTIER_FAILPOINT_HAVE_KILL 0
+#endif
+
+namespace frontier::failpoint {
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+enum class TriggerKind : std::uint8_t {
+  kAlways,
+  kNthOnly,      // fire on exactly the Nth hit
+  kNthOnwards,   // fire on the Nth hit and every later one
+  kProbability,  // fire when the per-hit splitmix64 draw < threshold
+};
+
+struct SiteConfig {
+  Fault fault = Fault::kNone;
+  TriggerKind trigger = TriggerKind::kAlways;
+  std::uint64_t nth = 0;          // for kNthOnly / kNthOnwards (1-based)
+  std::uint64_t threshold = 0;    // for kProbability: p * 2^64, saturated
+  std::uint64_t rng_state = 0;    // splitmix64 state, seeded per entry
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  std::size_t order = 0;          // configuration order, for stats()
+};
+
+// Keyed by site name; guarded by g_mutex. Sites are hit only on
+// durability/serve paths (never per-event hot loops), and only when
+// armed, so a mutex is fine.
+std::mutex g_mutex;
+std::unordered_map<std::string, SiteConfig>& table() {
+  static std::unordered_map<std::string, SiteConfig> t;
+  return t;
+}
+
+// splitmix64 — tiny, seedable, and not on the determinism lint's banned
+// list (the crawl RNG must stay xorshift/pcg-family; this stream only
+// decides when faults fire).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+[[noreturn]] void bad_spec(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("failpoint spec entry \"" + entry +
+                              "\": " + why);
+}
+
+Fault parse_fault(const std::string& entry, std::string_view kind) {
+  if (kind == "io-error") return Fault::kIoError;
+  if (kind == "enospc") return Fault::kEnospc;
+  if (kind == "short-write") return Fault::kShortWrite;
+  if (kind == "eintr") return Fault::kEintr;
+  if (kind == "abort") return Fault::kAbort;
+  if (kind == "kill9") return Fault::kKill9;
+  bad_spec(entry, "unknown fault kind \"" + std::string(kind) +
+                      "\" (want io-error|enospc|short-write|eintr|abort|"
+                      "kill9)");
+}
+
+std::uint64_t parse_u64(const std::string& entry, std::string_view text,
+                        const char* what) {
+  if (text.empty()) bad_spec(entry, std::string("empty ") + what);
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      bad_spec(entry, std::string("non-numeric ") + what + " \"" +
+                          std::string(text) + "\"");
+    }
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      bad_spec(entry, std::string(what) + " overflows");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+// "@pP/S" — P is a decimal in [0,1] with up to 18 fractional digits,
+// S a u64 seed. Converts P to a 2^64-scaled threshold without floating
+// point so configuration is bit-exact everywhere.
+void parse_probability(const std::string& entry, std::string_view text,
+                       SiteConfig& cfg) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    bad_spec(entry, "probability trigger needs a seed: @pP/S");
+  }
+  std::string_view prob = text.substr(0, slash);
+  std::string_view seed = text.substr(slash + 1);
+
+  std::string_view whole = prob;
+  std::string_view frac;
+  if (auto dot = prob.find('.'); dot != std::string_view::npos) {
+    whole = prob.substr(0, dot);
+    frac = prob.substr(dot + 1);
+  }
+  std::uint64_t whole_v = parse_u64(entry, whole, "probability");
+  if (whole_v > 1) bad_spec(entry, "probability must be in [0, 1]");
+  if (frac.size() > 18) bad_spec(entry, "probability has too many digits");
+  std::uint64_t frac_v = 0;
+  std::uint64_t frac_scale = 1;
+  for (char c : frac) {
+    if (c < '0' || c > '9') {
+      bad_spec(entry, "non-numeric probability \"" + std::string(prob) + "\"");
+    }
+    frac_v = frac_v * 10 + static_cast<std::uint64_t>(c - '0');
+    frac_scale *= 10;
+  }
+  if (whole_v == 1 && frac_v != 0) {
+    bad_spec(entry, "probability must be in [0, 1]");
+  }
+  cfg.trigger = TriggerKind::kProbability;
+  if (whole_v == 1) {
+    cfg.threshold = UINT64_MAX;  // always fires
+  } else if (frac_v == 0) {
+    cfg.threshold = 0;  // never fires
+  } else {
+    // threshold = frac_v / frac_scale * 2^64, via 128-bit arithmetic.
+    unsigned __int128 t =
+        (static_cast<unsigned __int128>(frac_v) << 64) / frac_scale;
+    cfg.threshold = static_cast<std::uint64_t>(t);
+  }
+  cfg.rng_state = parse_u64(entry, seed, "seed");
+}
+
+void parse_trigger(const std::string& entry, std::string_view text,
+                   SiteConfig& cfg) {
+  if (text.empty()) bad_spec(entry, "empty trigger after '@'");
+  if (text.front() == 'p') {
+    parse_probability(entry, text.substr(1), cfg);
+    return;
+  }
+  if (text.back() == '+') {
+    cfg.trigger = TriggerKind::kNthOnwards;
+    text.remove_suffix(1);
+  } else {
+    cfg.trigger = TriggerKind::kNthOnly;
+  }
+  cfg.nth = parse_u64(entry, text, "hit count");
+  if (cfg.nth == 0) bad_spec(entry, "hit count must be >= 1");
+}
+
+// One `site=kind[@trigger]` entry.
+std::pair<std::string, SiteConfig> parse_entry(const std::string& entry) {
+  auto eq = entry.find('=');
+  if (eq == std::string::npos) bad_spec(entry, "missing '='");
+  std::string site = entry.substr(0, eq);
+  if (site.empty()) bad_spec(entry, "empty site name");
+  std::string rest = entry.substr(eq + 1);
+
+  SiteConfig cfg;
+  auto at = rest.find('@');
+  std::string_view kind =
+      at == std::string::npos ? std::string_view(rest)
+                              : std::string_view(rest).substr(0, at);
+  cfg.fault = parse_fault(entry, kind);
+  if (at != std::string::npos) {
+    parse_trigger(entry, std::string_view(rest).substr(at + 1), cfg);
+  }
+  return {std::move(site), cfg};
+}
+
+struct EnvInit {
+  EnvInit() {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — static init, single thread.
+    const char* spec = std::getenv("FRONTIER_FAILPOINTS");
+    if (spec == nullptr || *spec == '\0') return;
+    try {
+      configure(spec);
+    } catch (const std::invalid_argument& e) {
+      // Static init has no caller to catch this; running with the
+      // requested faults silently unarmed would be worse than dying.
+      std::cerr << "bad environment: FRONTIER_FAILPOINTS: " << e.what()
+                << "\n";
+      std::exit(2);
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+void configure(const std::string& spec) {
+  std::unordered_map<std::string, SiteConfig> parsed;
+  std::size_t order = 0;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    auto end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    auto [site, cfg] = parse_entry(entry);
+    cfg.order = order++;
+    if (!parsed.emplace(std::move(site), cfg).second) {
+      bad_spec(entry, "duplicate site");
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  table() = std::move(parsed);
+  detail::g_armed.store(!table().empty(), std::memory_order_relaxed);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  table().clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+Fault consume(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = table().find(std::string(site));
+  if (it == table().end()) return Fault::kNone;
+  SiteConfig& cfg = it->second;
+  ++cfg.hits;
+  bool fire = false;
+  switch (cfg.trigger) {
+    case TriggerKind::kAlways:
+      fire = true;
+      break;
+    case TriggerKind::kNthOnly:
+      fire = cfg.hits == cfg.nth;
+      break;
+    case TriggerKind::kNthOnwards:
+      fire = cfg.hits >= cfg.nth;
+      break;
+    case TriggerKind::kProbability:
+      fire = cfg.threshold == UINT64_MAX ||
+             splitmix64(cfg.rng_state) < cfg.threshold;
+      break;
+  }
+  if (!fire) return Fault::kNone;
+  ++cfg.fires;
+  return cfg.fault;
+}
+
+void enact(Fault fault, std::string_view site) {
+  switch (fault) {
+    case Fault::kIoError:
+      throw IoError("failpoint " + std::string(site) + ": injected io error");
+    case Fault::kEnospc:
+      throw IoError("failpoint " + std::string(site) +
+                    ": no space left on device (injected)");
+    case Fault::kAbort:
+      std::abort();
+    case Fault::kKill9:
+#if FRONTIER_FAILPOINT_HAVE_KILL
+      ::kill(::getpid(), SIGKILL);
+      // SIGKILL cannot be blocked; not reached. Fall through to abort
+      // only on exotic platforms where kill somehow returned.
+#endif
+      std::abort();
+    case Fault::kNone:
+    case Fault::kShortWrite:
+    case Fault::kEintr:
+      break;  // cooperative kinds are the site's job (or nothing to do)
+  }
+}
+
+void trip(std::string_view site) { enact(consume(site), site); }
+
+Fault consume_enacted(std::string_view site) {
+  Fault f = consume(site);
+  enact(f, site);  // returns for kNone / kShortWrite / kEintr
+  return f;
+}
+
+std::uint64_t hits(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = table().find(std::string(site));
+  return it == table().end() ? 0 : it->second.hits;
+}
+
+std::vector<SiteStats> stats() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<SiteStats> out(table().size());
+  for (const auto& [site, cfg] : table()) {
+    out[cfg.order] = SiteStats{site, cfg.hits, cfg.fires};
+  }
+  return out;
+}
+
+}  // namespace frontier::failpoint

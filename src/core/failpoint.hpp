@@ -1,0 +1,132 @@
+// Deterministic fault injection — named sites compiled into the library.
+//
+// A *site* is a string-named point in a durability or serve path
+// (e.g. "durable.rename", "serve.read") marked with one of the two
+// macros below. A site does nothing until *activated* by a config
+// string, either programmatically (failpoint::configure) or through the
+// FRONTIER_FAILPOINTS environment variable at process start:
+//
+//     FRONTIER_FAILPOINTS='durable.fsync=kill9@2;serve.read=eintr@3'
+//
+// Config grammar (';'-separated entries, each `site=kind[@trigger]`):
+//   kind     io-error | enospc | short-write | eintr | abort | kill9
+//   trigger  (none)  fire on every hit
+//            @N      fire on the Nth hit only (1-based)
+//            @N+     fire on the Nth hit and every later one
+//            @pP/S   fire with probability P (0..1), seeded by S —
+//                    a per-site splitmix64 stream, so a given
+//                    (site, seed) always fires on the same hit numbers
+//
+// Fault kinds split by who implements them:
+//   * io-error / enospc  — FRONTIER_FAILPOINT throws IoError at the site.
+//   * abort              — std::abort() (SIGABRT; exercises unwind-free
+//                          death with core/sanitizer reports).
+//   * kill9              — the process SIGKILLs itself: no handlers, no
+//                          atexit, no flush — the `kill -9` the crash
+//                          harness recovers from, selected at an exact
+//                          deterministic moment.
+//   * short-write / eintr — cooperative: FRONTIER_FAILPOINT ignores
+//                          them; sites that can tear a write or fake an
+//                          interrupted syscall use FRONTIER_FAILPOINT_KIND
+//                          and implement the fault themselves (see
+//                          core/durable.cpp and serve/server.cpp).
+//
+// Cost when inactive: FRONTIER_FAILPOINT compiles to one relaxed atomic
+// load of a global flag and a never-taken branch; nothing is looked up,
+// locked, or counted, and no RNG is consumed — crawls with the failpoint
+// library linked in are bit-identical to crawls without it. Building
+// with -DFRONTIER_FAILPOINTS=OFF removes the sites entirely.
+//
+// The site catalog and how to add a site live in docs/FAULT_INJECTION.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frontier::failpoint {
+
+enum class Fault : std::uint8_t {
+  kNone,        ///< site not active at this hit
+  kIoError,     ///< throw IoError at the site
+  kEnospc,      ///< throw IoError styled as "no space left on device"
+  kShortWrite,  ///< cooperative: the site tears/truncates its write
+  kEintr,       ///< cooperative: the site fakes an EINTR syscall return
+  kAbort,       ///< std::abort()
+  kKill9,       ///< SIGKILL self — uncatchable, nothing runs after
+};
+
+/// Replaces the active configuration with `spec` (the grammar above; an
+/// empty string deactivates everything, like clear()). Throws
+/// std::invalid_argument naming the offending entry on malformed specs.
+void configure(const std::string& spec);
+
+/// Deactivates every site and resets all hit counters.
+void clear();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True iff any site is configured. The only cost a dormant site pays.
+[[nodiscard]] inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Records a hit on `site` and returns the fault to apply at this hit
+/// (kNone when the site is not configured or its trigger does not fire).
+/// Hit counters advance only while armed, so dormant sites stay free.
+[[nodiscard]] Fault consume(std::string_view site);
+
+/// Applies a consumed fault: throws IoError for kIoError/kEnospc, dies
+/// for kAbort/kKill9, returns for kNone and the cooperative kinds.
+void enact(Fault fault, std::string_view site);
+
+/// consume + enact — what FRONTIER_FAILPOINT expands to.
+void trip(std::string_view site);
+
+/// Hits recorded on `site` since the last configure()/clear().
+[[nodiscard]] std::uint64_t hits(std::string_view site);
+
+struct SiteStats {
+  std::string site;
+  std::uint64_t hits = 0;   ///< times the site was reached while armed
+  std::uint64_t fires = 0;  ///< times a fault was actually injected
+};
+
+/// Stats for every configured site, in configuration order.
+[[nodiscard]] std::vector<SiteStats> stats();
+
+}  // namespace frontier::failpoint
+
+// Site markers. FRONTIER_FAILPOINT is for sites where throwing/dying is
+// the whole story; FRONTIER_FAILPOINT_KIND yields the Fault so the site
+// can implement cooperative kinds (short-write, eintr) itself — it has
+// already enact()ed the self-contained kinds.
+#if !defined(FRONTIER_FAILPOINTS_ENABLED) || FRONTIER_FAILPOINTS_ENABLED
+#define FRONTIER_FAILPOINT(site)                                 \
+  do {                                                           \
+    if (::frontier::failpoint::armed()) {                        \
+      ::frontier::failpoint::trip(site);                         \
+    }                                                            \
+  } while (false)
+#define FRONTIER_FAILPOINT_KIND(site)                            \
+  (::frontier::failpoint::armed()                                \
+       ? ::frontier::failpoint::consume_enacted(site)            \
+       : ::frontier::failpoint::Fault::kNone)
+#else
+#define FRONTIER_FAILPOINT(site) \
+  do {                           \
+  } while (false)
+#define FRONTIER_FAILPOINT_KIND(site) (::frontier::failpoint::Fault::kNone)
+#endif
+
+namespace frontier::failpoint {
+
+/// consume() + enact() of the self-contained kinds, returning the
+/// cooperative ones (kShortWrite/kEintr) — or kNone — to the site.
+[[nodiscard]] Fault consume_enacted(std::string_view site);
+
+}  // namespace frontier::failpoint

@@ -17,6 +17,10 @@
 
 #include "core/types.hpp"
 #include "core/version.hpp"
+#include "core/io_error.hpp"
+#include "core/checksum.hpp"
+#include "core/durable.hpp"
+#include "core/failpoint.hpp"
 
 #include "random/rng.hpp"
 #include "random/alias_table.hpp"

@@ -1,0 +1,20 @@
+// IoError — the one exception type for malformed files and failed
+// streams, thrown by every IO layer (graph snapshots, stream
+// checkpoints, the durable-write helper, the serve spool) and mapped by
+// the CLIs to a clean "io error: ..." exit. It lives in core so the
+// bottom layers (durable writes, failpoints) can throw it without
+// depending on graph/; graph/io.hpp re-exports it for the existing
+// include sites.
+#pragma once
+
+#include <stdexcept>
+
+namespace frontier {
+
+/// Error for malformed files / failed streams.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace frontier

@@ -18,6 +18,7 @@
 
 #include <chrono>
 
+#include "core/failpoint.hpp"
 #include "core/parallel.hpp"
 #include "graph/builder.hpp"
 #include "graph/storage.hpp"
@@ -55,15 +56,19 @@ std::ifstream open_in(const std::string& path, std::ios_base::openmode mode) {
   return f;
 }
 
-std::ofstream open_out(const std::string& path, std::ios_base::openmode mode) {
-  std::ofstream f(path, mode);
+// Graph snapshots are created (streamed, possibly GBs — too big to
+// buffer for the durable helper), not atomically replaced; a writer that
+// needs crash-safe replacement should write to a scratch name and move
+// it durably itself.
+std::ofstream open_out(const std::string& path, std::ios_base::openmode mode) {  // lint:allow(durable-file-replacement): streamed create-only snapshot writer
+  std::ofstream f(path, mode);  // lint:allow(durable-file-replacement): streamed create-only snapshot writer
   if (!f) throw IoError("cannot open for writing: " + path);
   return f;
 }
 
 /// Flushes and verifies the stream so a full disk surfaces as IoError
 /// instead of silently losing the tail of the file.
-void flush_or_throw(std::ofstream& f, const std::string& what,
+void flush_or_throw(std::ofstream& f, const std::string& what,  // lint:allow(durable-file-replacement): helper for the create-only writers above
                     const std::string& path) {
   f.flush();
   if (!f) throw IoError(what + ": flush failed (disk full?): " + path);
@@ -484,6 +489,7 @@ void write_edge_list(const Graph& g, std::ostream& os) {
 }
 
 void write_edge_list_file(const Graph& g, const std::string& path) {
+  FRONTIER_FAILPOINT("graph.write");
   auto f = open_out(path, std::ios_base::out);
   write_edge_list(g, f);
   flush_or_throw(f, "write_edge_list", path);
@@ -497,6 +503,7 @@ Graph read_edge_list(std::istream& is, std::size_t threads) {
 }
 
 Graph read_edge_list_file(const std::string& path, std::size_t threads) {
+  FRONTIER_FAILPOINT("graph.read");
   const auto start = std::chrono::steady_clock::now();
 #if FRONTIER_HAS_MMAP
   // Map the text read-only instead of copying it: the parser only needs a
@@ -561,6 +568,7 @@ void write_binary(const Graph& g, std::ostream& os) {
 }
 
 void write_binary_file(const Graph& g, const std::string& path) {
+  FRONTIER_FAILPOINT("graph.write");
   auto f = open_out(path, std::ios_base::out | std::ios_base::binary);
   write_binary(g, f);
   flush_or_throw(f, "write_binary", path);
@@ -599,6 +607,7 @@ Graph read_binary(std::istream& is) {
 }
 
 Graph read_binary_file(const std::string& path) {
+  FRONTIER_FAILPOINT("graph.read");
   const auto start = std::chrono::steady_clock::now();
 #if FRONTIER_HAS_MMAP
   MmapFile file = MmapFile::open(path);

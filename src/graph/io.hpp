@@ -18,18 +18,12 @@
 
 #include <cstddef>
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
+#include "core/io_error.hpp"  // IoError lives in core; re-exported here
 #include "graph/graph.hpp"
 
 namespace frontier {
-
-/// Error for malformed files / failed streams.
-class IoError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 /// Writes the directed edge list of g ("u v" per line).
 void write_edge_list(const Graph& g, std::ostream& os);

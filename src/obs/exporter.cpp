@@ -3,6 +3,7 @@
 #include <iostream>
 #include <utility>
 
+#include "core/failpoint.hpp"
 #include "graph/io.hpp"
 #include "obs/resource.hpp"
 #include "obs/snapshot.hpp"
@@ -26,16 +27,18 @@ MetricsExporter::MetricsExporter(MetricsRegistry& registry, std::string path,
 }
 
 bool MetricsExporter::maybe_export() {
+  if (degraded_) return false;
   if (seq_ != 0) {
     const std::chrono::duration<double> since =
         std::chrono::steady_clock::now() - last_export_;
     if (since.count() < interval_seconds_) return false;
   }
   export_now();
-  return true;
+  return seq_ != 0 && !degraded_;
 }
 
 void MetricsExporter::export_now() {
+  if (degraded_) return;
   const auto now = std::chrono::steady_clock::now();
   MetricsSnapshot snap = registry_.snapshot();
   snap.seq = seq_;
@@ -46,14 +49,28 @@ void MetricsExporter::export_now() {
   snap.major_page_faults = usage.major_page_faults;
 
   const std::string line = to_jsonl(snap);
-  if (to_stderr_) {
-    std::cerr << line << std::flush;
-  } else {
-    file_ << line;
-    file_.flush();
-    if (!file_) {
-      throw IoError("metrics: write failed: " + path_);
+  bool failed = false;
+  try {
+    FRONTIER_FAILPOINT("obs.export");
+    if (to_stderr_) {
+      std::cerr << line << std::flush;
+    } else {
+      file_ << line;
+      file_.flush();
+      failed = !file_;
     }
+  } catch (const IoError&) {
+    failed = true;  // injected — same path as a real write failure
+  }
+  if (failed) {
+    // Disk filled up (or similar) under a running crawl: telemetry must
+    // not take the crawl down. Count it where the next snapshot of any
+    // *working* exporter/summary can see it, stop exporting, and let
+    // the crawl finish.
+    registry_.counter("obs.export_errors").add();
+    degraded_ = true;
+    if (!to_stderr_) file_.close();
+    return;
   }
   seq_ += 1;
   last_export_ = now;

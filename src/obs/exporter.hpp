@@ -9,9 +9,12 @@
 // truncates at a line boundary (which metrics-summary then rejects with
 // the offending line number rather than silently accepting).
 //
-// Failure discipline: an unwritable path or a failed write throws IoError
-// (graph/io.hpp), the same error type the CLI already maps to a clean
-// "io error: ..." exit — never a mid-crawl abort().
+// Failure discipline: an unwritable path at construction throws IoError
+// (a config error the operator should see before the crawl starts). A
+// *mid-run* write failure (disk filled up under the crawl) must never
+// take the crawl down: the exporter increments the obs.export_errors
+// counter, closes the stream, and degrades to a no-op — telemetry
+// observes, it does not participate, and that includes its own failures.
 #pragma once
 
 #include <chrono>
@@ -33,25 +36,33 @@ class MetricsExporter {
 
   /// Exports iff at least the configured interval has passed since the
   /// last exported line (the first call always exports). Returns true if
-  /// a line was written.
+  /// a line was written. Always false once degraded.
   bool maybe_export();
 
   /// Unconditionally snapshots, stamps (seq, elapsed, getrusage) and
-  /// writes one JSONL line, flushing it. Throws IoError on write failure.
+  /// writes one JSONL line, flushing it. A write failure degrades the
+  /// exporter (see degraded()) instead of throwing — the crawl outlives
+  /// its telemetry.
   void export_now();
 
   [[nodiscard]] std::uint64_t lines_written() const noexcept { return seq_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// True once a mid-run write failed; every later export is a no-op.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
 
  private:
   MetricsRegistry& registry_;
   std::string path_;
   double interval_seconds_;
   bool to_stderr_;
-  std::ofstream file_;
+  // Long-lived JSONL stream, flushed per line: a crash truncates at a
+  // line boundary by design; there is no replace-in-place to make atomic.
+  std::ofstream file_;  // lint:allow(durable-file-replacement): append-only JSONL stream, no replace
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_export_;
   std::uint64_t seq_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace frontier

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <utility>
 
+#include "core/failpoint.hpp"
 #include "graph/io.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -37,6 +38,7 @@ ServeCore::ServeCore(Graph graph, ServeLimits limits, std::string spool_dir,
     m_errors_ = metrics->counter("serve.errors");
     m_events_ = metrics->counter("serve.events_pumped");
     m_evictions_ = metrics->counter("serve.evictions");
+    m_spool_errors_ = metrics->counter("serve.spool_errors");
     m_active_ = metrics->gauge("serve.active_sessions");
     m_queue_ = metrics->gauge("serve.step_queue_depth");
     m_request_ns_ = metrics->histogram("serve.request_ns");
@@ -46,6 +48,11 @@ ServeCore::ServeCore(Graph graph, ServeLimits limits, std::string spool_dir,
 void ServeCore::update_gauges() {
   m_active_.set(static_cast<double>(registry_.active()));
   m_queue_.set(static_cast<double>(jobs_.size()));
+  const std::uint64_t se = registry_.spool_errors();
+  if (se > spool_errors_seen_) {
+    m_spool_errors_.add(se - spool_errors_seen_);
+    spool_errors_seen_ = se;
+  }
 }
 
 std::string ServeCore::step_response(const Session& s,
@@ -137,7 +144,7 @@ std::string ServeCore::dispatch(std::uint64_t conn, const Request& req,
     case Op::kCheckpoint: {
       Session& s = registry_.checked(req.session);
       s.touch(now);
-      const std::string path = registry_.checkpoint(s);
+      const std::string path = registry_.checkpoint(s, now);
       return ok_response(
           Op::kCheckpoint,
           "\"session\":" + json::quote(s.id()) +
@@ -175,6 +182,8 @@ std::string ServeCore::dispatch(std::uint64_t conn, const Request& req,
               ",\"opened\":" + std::to_string(registry_.opened()) +
               ",\"closed\":" + std::to_string(registry_.closed()) +
               ",\"evictions\":" + std::to_string(registry_.evictions()) +
+              ",\"spool_errors\":" + std::to_string(registry_.spool_errors()) +
+              ",\"spool_drops\":" + std::to_string(registry_.spool_drops()) +
               ",\"requests\":" + std::to_string(requests_) +
               ",\"errors\":" + std::to_string(errors_) +
               ",\"events_pumped\":" + std::to_string(events_pumped_) +
@@ -182,7 +191,7 @@ std::string ServeCore::dispatch(std::uint64_t conn, const Request& req,
               ",\"sessions\":" + sessions);
     }
     case Op::kShutdown: {
-      const std::size_t drained = drain();
+      const std::size_t drained = drain(now);
       shutdown = true;
       return ok_response(Op::kShutdown,
                          "\"drained\":" + std::to_string(drained));
@@ -206,6 +215,10 @@ std::optional<ServeCore::Completed> ServeCore::pump_slice(
                                     "session \"" + job.session +
                                         "\" vanished mid-step")};
   }
+  // Crash-harness site: a kill9/abort here dies mid-crawl between two
+  // slices (self-contained faults only — an injected throw would
+  // propagate out of the event loop).
+  FRONTIER_FAILPOINT("serve.pump");
   const std::uint64_t want =
       std::min(job.remaining, registry_.limits().slice_events);
   const std::uint64_t got = s->engine().pump(want);
@@ -239,7 +252,7 @@ void ServeCore::cancel_connection(std::uint64_t conn) {
   update_gauges();
 }
 
-std::size_t ServeCore::drain() {
+std::size_t ServeCore::drain(Clock::time_point now) {
   for (const Job& job : jobs_) {
     if (Session* s = registry_.find(job.session); s != nullptr) {
       s->set_busy(false);
@@ -247,7 +260,7 @@ std::size_t ServeCore::drain() {
   }
   jobs_.clear();
   draining_ = true;
-  const std::size_t drained = registry_.drain_all();
+  const std::size_t drained = registry_.drain_all(now);
   update_gauges();
   return drained;
 }
@@ -366,6 +379,13 @@ void SocketServer::accept_new() {
 bool SocketServer::service_input(Conn& c) {
   char buf[4096];
   while (true) {
+    // serve.read=eintr@N fakes an interrupted read to exercise the retry
+    // (use an Nth-hit trigger — `always` would spin here forever).
+    if (FRONTIER_FAILPOINT_KIND("serve.read") ==
+        failpoint::Fault::kEintr) {
+      errno = EINTR;
+      continue;
+    }
     const ssize_t n = ::read(c.fd, buf, sizeof(buf));
     if (n == 0) return false;  // EOF
     if (n < 0) {
@@ -408,7 +428,21 @@ bool SocketServer::service_input(Conn& c) {
 
 bool SocketServer::flush_output(Conn& c) {
   while (!c.out.empty()) {
-    const ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+    std::size_t want = c.out.size();
+    // serve.write faults: eintr fakes an interrupted write (Nth-hit
+    // trigger, see serve.read); short-write delivers one byte so the
+    // partial-write buffering must carry the rest to the next round.
+    switch (FRONTIER_FAILPOINT_KIND("serve.write")) {
+      case failpoint::Fault::kEintr:
+        errno = EINTR;
+        continue;
+      case failpoint::Fault::kShortWrite:
+        want = 1;
+        break;
+      default:
+        break;
+    }
+    const ssize_t n = ::write(c.fd, c.out.data(), want);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR) continue;
@@ -439,11 +473,25 @@ std::size_t SocketServer::run(const volatile std::sig_atomic_t* stop) {
     // Runnable step jobs keep the loop hot; otherwise block briefly so
     // SIGTERM and idle eviction are noticed promptly.
     const int timeout_ms = core_.has_runnable() ? 0 : 250;
-    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (ready < 0 && errno != EINTR) socket_fail("poll");
+    int ready;
+    if (FRONTIER_FAILPOINT_KIND("serve.poll") ==
+        failpoint::Fault::kEintr) {
+      errno = EINTR;  // fake a signal landing mid-poll
+      ready = -1;
+    } else {
+      ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    }
+    if (ready < 0) {
+      if (errno != EINTR) socket_fail("poll");
+      continue;  // interrupted: re-check the stop flag, rebuild, re-poll
+    }
 
+    // Only the connections that existed when `fds` was built have a
+    // pollfd entry; accept_new() may append more, which get polled on
+    // the next iteration.
+    const std::size_t polled = fds.size() - 1;
     if (ready > 0 && (fds[0].revents & POLLIN) != 0) accept_new();
-    for (std::size_t i = conns_.size(); i-- > 0;) {
+    for (std::size_t i = polled; i-- > 0;) {
       const short re = ready > 0 ? fds[i + 1].revents : 0;
       bool alive = true;
       if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0) alive = false;
@@ -470,7 +518,7 @@ std::size_t SocketServer::run(const volatile std::sig_atomic_t* stop) {
     (void)core_.evict_idle(now);
   }
 
-  const std::size_t drained = core_.drain();
+  const std::size_t drained = core_.drain(ServeCore::Clock::now());
   // Best-effort flush of in-flight responses (the shutdown ack).
   for (Conn& c : conns_) (void)flush_output(c);
   if (log_ != nullptr) {

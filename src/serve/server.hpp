@@ -77,7 +77,7 @@ class ServeCore {
 
   /// Cancels all jobs and checkpoints every session. Returns the number
   /// of sessions checkpointed. Safe to call twice (drain is idempotent).
-  std::size_t drain();
+  std::size_t drain(Clock::time_point now);
 
   std::size_t evict_idle(Clock::time_point now);
 
@@ -107,10 +107,13 @@ class ServeCore {
   std::uint64_t events_pumped_ = 0;
   bool draining_ = false;
 
+  std::uint64_t spool_errors_seen_ = 0;
+
   Counter m_requests_;
   Counter m_errors_;
   Counter m_events_;
   Counter m_evictions_;
+  Counter m_spool_errors_;
   Gauge m_active_;
   Gauge m_queue_;
   Histogram m_request_ns_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "core/failpoint.hpp"
 #include "graph/io.hpp"
 
 namespace frontier::serve {
@@ -122,13 +123,34 @@ void SessionRegistry::close(const std::string& id) {
   ++closed_;
 }
 
-std::string SessionRegistry::checkpoint(Session& s) {
+std::string SessionRegistry::checkpoint(Session& s,
+                                        Session::Clock::time_point now,
+                                        bool force) {
   const std::string path = spool_path(s.id());
+  if (!force && now < s.spool_retry_at()) {
+    ++spool_errors_;
+    throw WireError(
+        "io-error",
+        "spool write for session \"" + s.id() +
+            "\" is quarantined after " +
+            std::to_string(s.spool_failures()) +
+            " failed attempt(s); backing off");
+  }
   try {
+    // "serve.spool" covers every spool write: the checkpoint op, idle
+    // eviction, and drain.
+    FRONTIER_FAILPOINT("serve.spool");
     s.engine().save_checkpoint_file(path);
   } catch (const IoError& e) {
-    throw WireError("io-error", e.what());
+    ++spool_errors_;
+    s.record_spool_failure(now);
+    throw WireError("io-error",
+                    "spool write failed for session \"" + s.id() +
+                        "\" (attempt " +
+                        std::to_string(s.spool_failures()) +
+                        "): " + e.what());
   }
+  s.clear_spool_failures();
   return path;
 }
 
@@ -140,7 +162,25 @@ std::size_t SessionRegistry::evict_idle(Session::Clock::time_point now) {
     const double idle =
         std::chrono::duration<double>(now - s.last_active()).count();
     if (!s.busy() && idle >= limits_.idle_timeout_seconds) {
-      (void)checkpoint(s);
+      if (now < s.spool_retry_at()) {
+        ++it;  // quarantined: hold the session until its backoff expires
+        continue;
+      }
+      try {
+        (void)checkpoint(s, now);
+      } catch (const WireError&) {
+        if (s.spool_failures() < kSpoolRetryLimit) {
+          ++it;  // stays resident; next attempt after backoff
+          continue;
+        }
+        // Retries exhausted (dead disk, full spool): drop the session
+        // un-spooled rather than pin it forever. The client can re-open
+        // fresh; the loss is bounded to this session's progress.
+        ++spool_drops_;
+        it = sessions_.erase(it);
+        ++evicted;
+        continue;
+      }
       it = sessions_.erase(it);
       ++evicted;
     } else {
@@ -151,12 +191,16 @@ std::size_t SessionRegistry::evict_idle(Session::Clock::time_point now) {
   return evicted;
 }
 
-std::size_t SessionRegistry::drain_all() {
+std::size_t SessionRegistry::drain_all(Session::Clock::time_point now) {
   std::size_t drained = 0;
   for (auto& [id, session] : sessions_) {
     (void)id;
-    (void)checkpoint(*session);
-    ++drained;
+    try {
+      (void)checkpoint(*session, now, /*force=*/true);
+      ++drained;
+    } catch (const WireError&) {
+      // Counted in spool_errors_; keep draining the others.
+    }
   }
   return drained;
 }

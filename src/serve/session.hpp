@@ -15,6 +15,7 @@
 // eviction without sleeping.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -28,6 +29,15 @@
 #include "stream/spec.hpp"
 
 namespace frontier::serve {
+
+/// Spool-write quarantine: after a failed spool write a session backs
+/// off kSpoolBackoffBase << (failures-1) before the next attempt; after
+/// kSpoolRetryLimit consecutive failures an *eviction* gives up and
+/// drops the session rather than wedging the daemon on a dead disk.
+/// Client-requested checkpoints inside the backoff window are answered
+/// with a structured io-error without touching the disk.
+inline constexpr std::uint32_t kSpoolRetryLimit = 5;
+inline constexpr std::chrono::milliseconds kSpoolBackoffBase{200};
 
 /// Admission-control and transport quotas. Zero means "unlimited" only
 /// where documented; the CLI flags behind these reject zero outright so
@@ -71,6 +81,23 @@ class Session {
   [[nodiscard]] bool busy() const noexcept { return busy_; }
   void set_busy(bool b) noexcept { busy_ = b; }
 
+  /// Spool quarantine bookkeeping (see kSpoolRetryLimit above).
+  [[nodiscard]] std::uint32_t spool_failures() const noexcept {
+    return spool_failures_;
+  }
+  [[nodiscard]] Clock::time_point spool_retry_at() const noexcept {
+    return spool_retry_at_;
+  }
+  void record_spool_failure(Clock::time_point now) noexcept {
+    ++spool_failures_;
+    const std::uint32_t shift = std::min(spool_failures_ - 1, 16u);
+    spool_retry_at_ = now + kSpoolBackoffBase * (std::int64_t{1} << shift);
+  }
+  void clear_spool_failures() noexcept {
+    spool_failures_ = 0;
+    spool_retry_at_ = Clock::time_point{};
+  }
+
  private:
   std::string id_;
   std::string tenant_;
@@ -78,6 +105,8 @@ class Session {
   std::unique_ptr<StreamEngine> engine_;
   Clock::time_point last_active_;
   bool busy_ = false;
+  std::uint32_t spool_failures_ = 0;
+  Clock::time_point spool_retry_at_{};  // epoch = no quarantine
 };
 
 class SessionRegistry {
@@ -111,15 +140,26 @@ class SessionRegistry {
   void close(const std::string& id);
 
   /// Checkpoints to the session's spool path; returns that path. Throws
-  /// WireError io-error on write failure.
-  std::string checkpoint(Session& s);
+  /// WireError io-error on write failure or while the session's spool is
+  /// quarantined (exponential backoff after earlier failures — see
+  /// kSpoolRetryLimit). `force` attempts the write regardless of
+  /// quarantine (drain uses it: the process is exiting, best effort
+  /// beats backoff).
+  std::string checkpoint(Session& s, Session::Clock::time_point now,
+                         bool force = false);
 
   /// Checkpoints and destroys every non-busy session idle for longer
-  /// than limits().idle_timeout_seconds. Returns the eviction count.
+  /// than limits().idle_timeout_seconds. Returns the eviction count. A
+  /// session whose spool write fails stays resident and backs off; after
+  /// kSpoolRetryLimit consecutive failures it is dropped un-spooled
+  /// (counted in spool_drops()) so a dead disk cannot pin sessions
+  /// forever. Never throws for spool failures.
   std::size_t evict_idle(Session::Clock::time_point now);
 
-  /// Checkpoints every session (graceful drain). Returns the count.
-  std::size_t drain_all();
+  /// Checkpoints every session (graceful drain), skipping none for
+  /// quarantine. Returns the number successfully spooled; failures are
+  /// counted in spool_errors() and do not abort the drain.
+  std::size_t drain_all(Session::Clock::time_point now);
 
   [[nodiscard]] std::size_t active() const noexcept {
     return sessions_.size();
@@ -130,6 +170,14 @@ class SessionRegistry {
   }
   [[nodiscard]] std::uint64_t opened() const noexcept { return opened_; }
   [[nodiscard]] std::uint64_t closed() const noexcept { return closed_; }
+  /// Failed spool writes (including quarantine rejections).
+  [[nodiscard]] std::uint64_t spool_errors() const noexcept {
+    return spool_errors_;
+  }
+  /// Sessions dropped un-spooled after exhausting spool retries.
+  [[nodiscard]] std::uint64_t spool_drops() const noexcept {
+    return spool_drops_;
+  }
 
   /// Session pointers in id order (stats rendering, tests).
   [[nodiscard]] std::vector<const Session*> list() const;
@@ -142,6 +190,8 @@ class SessionRegistry {
   std::uint64_t evictions_ = 0;
   std::uint64_t opened_ = 0;
   std::uint64_t closed_ = 0;
+  std::uint64_t spool_errors_ = 0;
+  std::uint64_t spool_drops_ = 0;
 };
 
 }  // namespace frontier::serve

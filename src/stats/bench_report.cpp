@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "core/durable.hpp"
+#include "core/io_error.hpp"
 #include "core/version.hpp"
 #include "stats/json.hpp"
 
@@ -176,11 +178,13 @@ BenchReport BenchReport::parse_json(std::string_view text) {
 }
 
 void BenchReport::write_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw BenchReportError("bench report: cannot open " + path);
-  out << to_json();
-  out.flush();
-  if (!out) throw BenchReportError("bench report: write failed: " + path);
+  // Durable replace: CI parses these reports after the bench exits, so a
+  // crash mid-write must leave the previous report or none, never half.
+  try {
+    durable_write_file(path, to_json());
+  } catch (const IoError& e) {
+    throw BenchReportError(std::string("bench report: ") + e.what());
+  }
 }
 
 BenchReport BenchReport::read_file(const std::string& path) {

@@ -1,8 +1,11 @@
 #include "stream/checkpoint.hpp"
 
-#include <cstdio>
 #include <fstream>
+#include <sstream>
 
+#include "core/checksum.hpp"
+#include "core/durable.hpp"
+#include "core/failpoint.hpp"
 #include "stream/serialize.hpp"
 
 namespace frontier {
@@ -10,19 +13,24 @@ namespace frontier {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x46524f4e54534330ULL;  // "FRONTSC0"
-constexpr std::uint32_t kVersion = 1;
+// v2 = v1 body + checksummed trailer. Bumped so a v2 reader rejects
+// trailer-less v1 files by magic/version instead of misparsing.
+constexpr std::uint32_t kVersion = 2;
+
+// Trailer (last 24 bytes): body length, CRC-64 of the body, magic.
+// Magic last so the final 8 bytes of any complete checkpoint identify
+// it; a torn tail therefore can't present a valid trailer.
+constexpr std::uint64_t kTrailerMagic = 0x46524f4e54545231ULL;  // "FRONTTR1"
+constexpr std::size_t kTrailerSize = 3 * sizeof(std::uint64_t);
 
 using streamio::read_pod;
 using streamio::read_string;
 using streamio::write_pod;
 using streamio::write_string;
 
-}  // namespace
-
-void StreamCheckpoint::save(
-    std::ostream& os, const SamplerCursor& cursor,
-    std::span<const std::unique_ptr<EstimatorSink>> sinks,
-    std::uint64_t events) {
+void save_body(std::ostream& os, const SamplerCursor& cursor,
+               std::span<const std::unique_ptr<EstimatorSink>> sinks,
+               std::uint64_t events) {
   write_pod(os, kMagic);
   write_pod(os, kVersion);
   write_pod(os, static_cast<std::uint32_t>(cursor.kind()));
@@ -37,12 +45,10 @@ void StreamCheckpoint::save(
     write_string(os, std::string(sink->name()));
     sink->save_state(os);
   }
-  if (!os) throw IoError("StreamCheckpoint::save: stream failure");
 }
 
-std::uint64_t StreamCheckpoint::load(
-    std::istream& is, SamplerCursor& cursor,
-    std::span<const std::unique_ptr<EstimatorSink>> sinks) {
+std::uint64_t load_body(std::istream& is, SamplerCursor& cursor,
+                        std::span<const std::unique_ptr<EstimatorSink>> sinks) {
   if (read_pod<std::uint64_t>(is) != kMagic) {
     throw IoError("StreamCheckpoint::load: bad magic");
   }
@@ -79,29 +85,99 @@ std::uint64_t StreamCheckpoint::load(
   return events;
 }
 
+// Serializes body + trailer into one buffer. Checkpoints are small (KBs
+// per session), so buffering the body to checksum it is cheap.
+std::string serialize(const SamplerCursor& cursor,
+                      std::span<const std::unique_ptr<EstimatorSink>> sinks,
+                      std::uint64_t events) {
+  std::ostringstream body_os(std::ios_base::out | std::ios_base::binary);
+  save_body(body_os, cursor, sinks, events);
+  if (!body_os) throw IoError("StreamCheckpoint::save: stream failure");
+  std::string blob = std::move(body_os).str();
+  const std::uint64_t body_len = blob.size();
+  const std::uint64_t crc = crc64(blob.data(), blob.size());
+  std::ostringstream trailer_os(std::ios_base::out | std::ios_base::binary);
+  write_pod(trailer_os, body_len);
+  write_pod(trailer_os, crc);
+  write_pod(trailer_os, kTrailerMagic);
+  blob += std::move(trailer_os).str();
+  return blob;
+}
+
+// Validates the trailer of a complete checkpoint image and returns the
+// body, throwing a structured IoError for truncated, overlong, or
+// bit-flipped files. Nothing of the body is parsed until the checksum
+// has vouched for every byte.
+std::string check_trailer(std::string&& blob) {
+  if (blob.size() < kTrailerSize) {
+    throw IoError(
+        "StreamCheckpoint::load: truncated checkpoint (smaller than the "
+        "trailer)");
+  }
+  std::istringstream trailer_is(blob.substr(blob.size() - kTrailerSize),
+                                std::ios_base::in | std::ios_base::binary);
+  const auto body_len = read_pod<std::uint64_t>(trailer_is);
+  const auto crc = read_pod<std::uint64_t>(trailer_is);
+  const auto magic = read_pod<std::uint64_t>(trailer_is);
+  if (magic != kTrailerMagic) {
+    throw IoError(
+        "StreamCheckpoint::load: missing or corrupt checkpoint trailer "
+        "(torn write, or not a v2 checkpoint)");
+  }
+  if (body_len != blob.size() - kTrailerSize) {
+    throw IoError(
+        "StreamCheckpoint::load: checkpoint length mismatch (trailer says " +
+        std::to_string(body_len) + " body bytes, file has " +
+        std::to_string(blob.size() - kTrailerSize) + ")");
+  }
+  blob.resize(blob.size() - kTrailerSize);
+  if (crc64(blob.data(), blob.size()) != crc) {
+    throw IoError(
+        "StreamCheckpoint::load: checkpoint checksum mismatch (bit-flipped "
+        "or corrupt file)");
+  }
+  return std::move(blob);
+}
+
+}  // namespace
+
+void StreamCheckpoint::save(
+    std::ostream& os, const SamplerCursor& cursor,
+    std::span<const std::unique_ptr<EstimatorSink>> sinks,
+    std::uint64_t events) {
+  const std::string blob = serialize(cursor, sinks, events);
+  os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!os) throw IoError("StreamCheckpoint::save: stream failure");
+}
+
+std::uint64_t StreamCheckpoint::load(
+    std::istream& is, SamplerCursor& cursor,
+    std::span<const std::unique_ptr<EstimatorSink>> sinks) {
+  // Drain the stream through its buffer (leaves tellg() at the end
+  // without tripping eofbit — the engine's byte accounting reads it).
+  std::ostringstream oss(std::ios_base::out | std::ios_base::binary);
+  oss << is.rdbuf();
+  std::string body = check_trailer(std::move(oss).str());
+  std::istringstream body_is(std::move(body),
+                             std::ios_base::in | std::ios_base::binary);
+  return load_body(body_is, cursor, sinks);
+}
+
 void StreamCheckpoint::save_file(
     const std::string& path, const SamplerCursor& cursor,
     std::span<const std::unique_ptr<EstimatorSink>> sinks,
     std::uint64_t events) {
-  // Write-then-rename so a crash mid-save never destroys the previous
-  // good checkpoint — surviving crashes is the whole point of the file.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios_base::out | std::ios_base::binary);
-    if (!f) throw IoError("cannot open for writing: " + tmp);
-    save(f, cursor, sinks, events);
-    f.close();
-    if (!f) throw IoError("StreamCheckpoint::save_file: write failure");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw IoError("StreamCheckpoint::save_file: cannot replace " + path);
-  }
+  FRONTIER_FAILPOINT("checkpoint.save");
+  // Durable replace (tmp + fsync + rename + parent fsync): a crash at
+  // any moment leaves either the previous good checkpoint or the new
+  // one — surviving crashes is the whole point of the file.
+  durable_write_file(path, serialize(cursor, sinks, events));
 }
 
 std::uint64_t StreamCheckpoint::load_file(
     const std::string& path, SamplerCursor& cursor,
     std::span<const std::unique_ptr<EstimatorSink>> sinks) {
+  FRONTIER_FAILPOINT("checkpoint.load");
   std::ifstream f(path, std::ios_base::in | std::ios_base::binary);
   if (!f) throw IoError("cannot open for reading: " + path);
   return load(f, cursor, sinks);

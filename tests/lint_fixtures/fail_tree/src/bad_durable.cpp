@@ -1,0 +1,17 @@
+// Fixture: hand-rolled file replacement — both lines below must be
+// reported by durable-file-replacement with their exact line numbers.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+void racy_swap(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::ofstream f(tmp);                       // line 11
+  f << body;
+  f.close();
+  (void)std::rename(tmp.c_str(), path.c_str());  // line 14
+}
+
+}  // namespace fixture

@@ -1,0 +1,167 @@
+// Deterministic fault injection: config grammar, trigger semantics,
+// hit/fire accounting, and the dormant-is-free contract. Failpoint state
+// is process-global, so every test starts and ends disarmed.
+#include "core/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/io_error.hpp"
+
+namespace fp = frontier::failpoint;
+
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::clear(); }
+  void TearDown() override { fp::clear(); }
+};
+
+TEST_F(FailpointTest, DormantByDefaultAndAfterClear) {
+  EXPECT_FALSE(fp::armed());
+  EXPECT_EQ(fp::consume("durable.rename"), fp::Fault::kNone);
+  fp::configure("durable.rename=io-error");
+  EXPECT_TRUE(fp::armed());
+  fp::clear();
+  EXPECT_FALSE(fp::armed());
+  EXPECT_EQ(fp::hits("durable.rename"), 0u);
+}
+
+TEST_F(FailpointTest, MacroThrowsIoErrorOnlyAtTheConfiguredSite) {
+  fp::configure("graph.write=io-error");
+  EXPECT_THROW(FRONTIER_FAILPOINT("graph.write"), frontier::IoError);
+  EXPECT_NO_THROW(FRONTIER_FAILPOINT("graph.read"));
+}
+
+TEST_F(FailpointTest, InjectedErrorsNameTheSiteAndTheCondition) {
+  fp::configure("checkpoint.save=enospc");
+  try {
+    fp::trip("checkpoint.save");
+    FAIL() << "expected IoError";
+  } catch (const frontier::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checkpoint.save"), std::string::npos) << what;
+    EXPECT_NE(what.find("no space left"), std::string::npos) << what;
+  }
+}
+
+TEST_F(FailpointTest, NthOnlyFiresExactlyOnce) {
+  fp::configure("s=io-error@3");
+  EXPECT_EQ(fp::consume("s"), fp::Fault::kNone);
+  EXPECT_EQ(fp::consume("s"), fp::Fault::kNone);
+  EXPECT_EQ(fp::consume("s"), fp::Fault::kIoError);
+  EXPECT_EQ(fp::consume("s"), fp::Fault::kNone);
+  EXPECT_EQ(fp::hits("s"), 4u);
+}
+
+TEST_F(FailpointTest, NthOnwardsFiresFromNForever) {
+  fp::configure("s=eintr@2+");
+  EXPECT_EQ(fp::consume("s"), fp::Fault::kNone);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fp::consume("s"), fp::Fault::kEintr);
+  }
+}
+
+TEST_F(FailpointTest, ProbabilityStreamIsDeterministicPerSeed) {
+  const auto draw = [](const std::string& spec, int n) {
+    fp::configure(spec);
+    std::string pattern;
+    for (int i = 0; i < n; ++i) {
+      pattern += fp::consume("s") == fp::Fault::kNone ? '.' : 'X';
+    }
+    return pattern;
+  };
+  const std::string a = draw("s=io-error@p0.5/42", 64);
+  EXPECT_EQ(a, draw("s=io-error@p0.5/42", 64));  // same (p, seed), same hits
+  EXPECT_NE(a, draw("s=io-error@p0.5/43", 64));  // the seed shifts the stream
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+  // The endpoints are exact, not approximate.
+  EXPECT_EQ(draw("s=io-error@p1/7", 8), "XXXXXXXX");
+  EXPECT_EQ(draw("s=io-error@p0/7", 8), "........");
+  EXPECT_EQ(draw("s=io-error@p0.0/7", 8), "........");
+}
+
+TEST_F(FailpointTest, StatsCountHitsAndFiresInConfigOrder) {
+  fp::configure("b=io-error@2;a=eintr");
+  (void)fp::consume("b");
+  (void)fp::consume("b");  // fires on the 2nd hit
+  (void)fp::consume("a");  // fires (always)
+  const auto stats = fp::stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].site, "b");
+  EXPECT_EQ(stats[0].hits, 2u);
+  EXPECT_EQ(stats[0].fires, 1u);
+  EXPECT_EQ(stats[1].site, "a");
+  EXPECT_EQ(stats[1].hits, 1u);
+  EXPECT_EQ(stats[1].fires, 1u);
+}
+
+TEST_F(FailpointTest, ReconfigureReplacesEverythingAtOnce) {
+  fp::configure("a=io-error");
+  (void)fp::consume("a");
+  fp::configure("b=io-error");
+  EXPECT_EQ(fp::consume("a"), fp::Fault::kNone);  // a is gone
+  EXPECT_EQ(fp::hits("a"), 0u);                   // counters reset too
+  EXPECT_EQ(fp::consume("b"), fp::Fault::kIoError);
+  fp::configure("");  // the empty spec disarms, like clear()
+  EXPECT_FALSE(fp::armed());
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrowNamingTheEntryAndChangeNothing) {
+  fp::configure("a=io-error");
+  const char* bad[] = {
+      "nokind",                            // missing '='
+      "=io-error",                         // empty site
+      "s=flood",                           // unknown kind
+      "s=io-error@",                       // empty trigger
+      "s=io-error@0",                      // hit count must be >= 1
+      "s=io-error@x",                      // non-numeric hit count
+      "s=io-error@99999999999999999999",   // overflows u64
+      "s=io-error@p0.5",                   // probability without a seed
+      "s=io-error@p2/1",                   // probability > 1
+      "s=io-error@p1.5/1",                 // probability > 1
+      "s=io-error@p0.1234567890123456789/1",  // too many digits
+      "s=io-error;s=abort",                // duplicate site
+  };
+  for (const char* spec : bad) {
+    try {
+      fp::configure(spec);
+      ADD_FAILURE() << "accepted malformed spec: " << spec;
+    } catch (const std::invalid_argument& e) {
+      // The diagnostic names the offending entry, not just "bad spec".
+      EXPECT_NE(std::string(e.what()).find("failpoint spec entry"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // All-or-nothing: every failed configure() left the old table intact.
+  EXPECT_EQ(fp::consume("a"), fp::Fault::kIoError);
+}
+
+TEST_F(FailpointTest, CooperativeKindsReturnFromTheKindMacro) {
+  fp::configure("s=short-write;t=eintr");
+  EXPECT_EQ(FRONTIER_FAILPOINT_KIND("s"), fp::Fault::kShortWrite);
+  EXPECT_EQ(FRONTIER_FAILPOINT_KIND("t"), fp::Fault::kEintr);
+  EXPECT_EQ(FRONTIER_FAILPOINT_KIND("u"), fp::Fault::kNone);
+  // FRONTIER_FAILPOINT ignores cooperative kinds (the site implements
+  // them), but both macros advance the same hit counter.
+  EXPECT_NO_THROW(FRONTIER_FAILPOINT("s"));
+  EXPECT_EQ(fp::hits("s"), 2u);
+}
+
+TEST_F(FailpointTest, UnconfiguredSitesRecordNoHits) {
+  // Dormant: the macro is one relaxed atomic load, nothing is counted.
+  FRONTIER_FAILPOINT("durable.rename");
+  EXPECT_EQ(fp::hits("durable.rename"), 0u);
+  // Armed but this site unconfigured: still no bookkeeping for it.
+  fp::configure("other=io-error@99");
+  FRONTIER_FAILPOINT("durable.rename");
+  EXPECT_EQ(fp::hits("durable.rename"), 0u);
+  EXPECT_EQ(fp::hits("other"), 0u);
+}
+
+}  // namespace

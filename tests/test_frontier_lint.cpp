@@ -141,6 +141,42 @@ TEST(Suppression, WrongRuleNameDoesNotSuppress) {
 }
 
 // ---------------------------------------------------------------------------
+// durable-file-replacement
+
+TEST(DurableRule, FlagsRawOfstreamAndRenameInSrcAndTools) {
+  const auto diags = check("src/stream/x.cpp",
+                           "std::ofstream f(tmp);\n"
+                           "std::rename(tmp.c_str(), path.c_str());\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(has_rule(diags, "durable-file-replacement"));
+  EXPECT_EQ(diags[1].line, 2u);
+  EXPECT_TRUE(has_rule(check("tools/x.cpp", "std::ofstream f(p);\n"),
+                       "durable-file-replacement"));
+}
+
+TEST(DurableRule, HelperItselfAndWaiversAndOtherTreesPass) {
+  // The helper is the one place the raw idiom is the implementation.
+  EXPECT_TRUE(check("src/core/durable.cpp",
+                    "std::ofstream f(tmp);\nstd::rename(a, b);\n")
+                  .empty());
+  // A create-only stream is waived per line with a rationale.
+  EXPECT_TRUE(check("src/graph/x.cpp",
+                    "std::ofstream f(p);  // lint:allow(durable-file-"
+                    "replacement): create-only scratch file, never "
+                    "replaces a read-back artifact\n")
+                  .empty());
+  // Tests and benches build scratch inputs freely.
+  EXPECT_TRUE(check("bench/bench_x.cpp",
+                    "bench_common::BenchSession s(argc, argv);\n"
+                    "std::ofstream f(p);\n")
+                  .empty());
+  // ifstream and renamed identifiers never match.
+  EXPECT_TRUE(check("src/x.cpp",
+                    "std::ifstream in(p);\nint my_rename = 0;\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // pragma-once and bench-session
 
 TEST(PragmaOnce, MissingGuardFlagsLineOne) {
@@ -177,10 +213,11 @@ TEST(LintTree, FailTreeTripsEveryRuleWithFileAndLine) {
   const lint::LintResult r =
       lint::lint_tree(std::string(LINT_FIXTURE_DIR) + "/fail_tree");
   EXPECT_TRUE(r.unreadable.empty());
-  EXPECT_EQ(r.files_checked, 5u);
+  EXPECT_EQ(r.files_checked, 6u);
   for (const char* rule :
        {"determinism-no-wall-clock", "no-stdout-in-library", "pragma-once",
-        "bench-session", "suppression-rationale"}) {
+        "bench-session", "suppression-rationale",
+        "durable-file-replacement"}) {
     EXPECT_TRUE(has_rule(r.diagnostics, rule)) << "rule not tripped: " << rule;
   }
   // Exact anchors: the fixtures pin their violations to known lines.

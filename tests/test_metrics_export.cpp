@@ -10,6 +10,7 @@
 #include <fstream>
 #include <string>
 
+#include "core/failpoint.hpp"
 #include "graph/io.hpp"
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
@@ -189,6 +190,36 @@ TEST(MetricsExporter, UnwritablePathIsCleanIoError) {
   EXPECT_THROW(
       MetricsExporter(reg, "no_such_dir/sub/metrics.jsonl", 1.0),
       IoError);
+}
+
+TEST(MetricsExporter, MidRunWriteFailureDegradesInsteadOfThrowing) {
+  failpoint::clear();
+  MetricsRegistry reg;
+  TempFile file("metrics_export_degrade.jsonl");
+  MetricsExporter exporter(reg, file.path(), /*interval_seconds=*/0.0);
+  EXPECT_TRUE(exporter.maybe_export());  // healthy first line
+  ASSERT_FALSE(exporter.degraded());
+
+  failpoint::configure("obs.export=io-error@1");
+  EXPECT_NO_THROW(exporter.export_now());  // absorbed, never rethrown
+  failpoint::clear();
+  EXPECT_TRUE(exporter.degraded());
+  EXPECT_EQ(exporter.lines_written(), 1u);  // the failed line is not counted
+
+  // The failure is visible where a *working* consumer can still see it.
+  bool counted = false;
+  for (const auto& [name, value] : reg.snapshot().counters) {
+    if (name == "obs.export_errors") {
+      counted = true;
+      EXPECT_EQ(value, 1u);
+    }
+  }
+  EXPECT_TRUE(counted) << "obs.export_errors counter missing";
+
+  // Degraded is terminal: later exports are no-ops, not retries.
+  EXPECT_FALSE(exporter.maybe_export());
+  exporter.export_now();
+  EXPECT_EQ(exporter.lines_written(), 1u);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "graph/generators.hpp"
 #include "serve/protocol.hpp"
 #include "stream/spec.hpp"
@@ -295,6 +296,57 @@ TEST(ServeCore, StatsReportsSessionsAndCounters) {
   EXPECT_NE(stats.find("\"uptime_seconds\":9"), std::string::npos);
   EXPECT_NE(stats.find("\"session\":\"s1\""), std::string::npos);
   EXPECT_NE(stats.find("\"method\":\"rwj\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: a failing spool degrades one session, not the daemon.
+
+TEST(ServeCore, SpoolFaultDegradesOneSessionWhileOthersServe) {
+  // Failpoint state is process-global; make sure it cannot leak into the
+  // bit-identity tests below even if an expectation fails.
+  struct FpGuard {
+    FpGuard() { failpoint::clear(); }
+    ~FpGuard() { failpoint::clear(); }
+  } guard;
+
+  ServeCore core(test_graph(), small_limits(), spool_dir("fault"), at(0));
+  (void)roundtrip(core, open_line("sick", "srw", 300, 1));
+  (void)roundtrip(core, open_line("well", "srw", 300, 2));
+
+  // First spool attempt fails: a structured io-error naming the session.
+  failpoint::configure("serve.spool=io-error@1");
+  const std::string hurt =
+      roundtrip(core, R"({"op":"checkpoint","session":"sick"})", at(1));
+  EXPECT_NE(hurt.find("\"ok\":false"), std::string::npos) << hurt;
+  EXPECT_NE(hurt.find("io-error"), std::string::npos) << hurt;
+  EXPECT_NE(hurt.find("sick"), std::string::npos) << hurt;
+
+  // The session is quarantined: an immediate retry is refused during the
+  // backoff window without another disk attempt.
+  const std::string backoff =
+      roundtrip(core, R"({"op":"checkpoint","session":"sick"})", at(1));
+  EXPECT_NE(backoff.find("\"ok\":false"), std::string::npos) << backoff;
+  EXPECT_NE(backoff.find("quarantined"), std::string::npos) << backoff;
+
+  // The daemon keeps serving: the other session checkpoints fine (the
+  // Nth-hit trigger fired already), and the sick one can still step.
+  const std::string fine =
+      roundtrip(core, R"({"op":"checkpoint","session":"well"})", at(1));
+  EXPECT_NE(fine.find("\"ok\":true"), std::string::npos) << fine;
+  const std::string stepped = roundtrip(
+      core, R"({"op":"step","session":"sick","events":50})", at(1));
+  EXPECT_NE(stepped.find("\"ok\":true"), std::string::npos) << stepped;
+
+  // Past the backoff window the sick session heals and spools for real.
+  const std::string healed =
+      roundtrip(core, R"({"op":"checkpoint","session":"sick"})", at(5));
+  EXPECT_NE(healed.find("\"ok\":true"), std::string::npos) << healed;
+  EXPECT_FALSE(read_file(core.registry().spool_path("sick")).empty());
+
+  // Both refused attempts are accounted on the stats line.
+  const std::string stats = roundtrip(core, R"({"op":"stats"})", at(5));
+  EXPECT_NE(stats.find("\"spool_errors\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"spool_drops\":0"), std::string::npos) << stats;
 }
 
 // ---------------------------------------------------------------------------

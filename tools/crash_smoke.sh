@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# Crash-recovery harness: kill -9 the serve daemon at deterministic,
+# failpoint-chosen moments, restart it, let the scripted client reconnect
+# and resume every session from the spool — and then require the final
+# spool checkpoints and estimates files to be byte-identical (cmp) to an
+# uncrashed offline `frontier_cli stream` run of the same spec.
+#
+#   tools/crash_smoke.sh [build-dir]   (default: build)
+#
+# Three kill moments, all covering all five cursor types:
+#   * durable.fsync=kill9@3   — dies inside a spool write, before the
+#     rename: the victim session has NO durable checkpoint, so the client
+#     falls back to a fresh deterministic open (bad-checkpoint path).
+#   * durable.dirsync=kill9@3 — dies after the rename, before the parent
+#     dir fsync: the spool file IS durable, so the client resumes from it
+#     (resume:true path).
+#   * serve.pump=kill9@4      — dies between scheduler slices, mid-step:
+#     progress since the last spool write is lost and re-walked.
+#
+# The kill always lands in the srw block (the 3rd durable write / 4th
+# pump slice), so the fs session is already closed — recovery must not
+# disturb finished sessions — and mrw/mh/rwj run entirely on the
+# restarted, failpoint-free daemon.
+#
+# Only the FIRST daemon incarnation runs with FRONTIER_FAILPOINTS armed;
+# the supervisor restarts crashed (nonzero-exit) daemons clean, so each
+# scenario crashes exactly once and then finishes. A scenario that never
+# crashes fails the harness — the gate must not pass vacuously.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/tools/frontier_cli"
+SERVE="$BUILD_DIR/tools/frontier_serve"
+[ -x "$CLI" ] && [ -x "$SERVE" ] || {
+  echo "crash_smoke: missing $CLI or $SERVE (build first)" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d)"
+SUP_PID=""
+CUR_SOCK=""
+cleanup() {
+  # Best-effort: ask a still-running daemon to exit, then drop the tree.
+  if [ -n "$CUR_SOCK" ] && [ -S "$CUR_SOCK" ]; then
+    echo '{"op":"shutdown"}' |
+      "$SERVE" --connect --socket "$CUR_SOCK" >/dev/null 2>&1 || true
+  fi
+  [ -n "$SUP_PID" ] && wait "$SUP_PID" 2>/dev/null || true
+  if [ -n "${CRASH_SMOKE_KEEP:-}" ]; then
+    echo "crash_smoke: work tree kept at $WORK" >&2
+  else
+    rm -rf "$WORK"
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "crash_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# method budget seed dimension("" for the method default)
+METHODS=(
+  "fs 3000 7 40"
+  "srw 2000 11 "
+  "mrw 2400 13 16"
+  "mh 2000 17 "
+  "rwj 2200 19 "
+)
+
+echo "== graph"
+"$CLI" generate --model ba --n 800 --param 3 --seed 1 \
+  --out "$WORK/g.txt" >/dev/null
+"$CLI" convert "$WORK/g.txt" "$WORK/g.bin" >/dev/null
+
+echo "== offline reference (uncrashed)"
+mkdir -p "$WORK/off"
+for entry in "${METHODS[@]}"; do
+  read -r m b s dim <<<"$entry"
+  d=""
+  [ -n "$dim" ] && d="--dimension $dim"
+  # shellcheck disable=SC2086
+  "$CLI" stream "$WORK/g.bin" --mmap --method "$m" --budget "$b" \
+    --seed "$s" $d --checkpoint "$WORK/off/$m.ckpt" \
+    --estimates-json "$WORK/off/$m.json" >/dev/null
+done
+
+# One block per method: open, pause at 300 events, checkpoint, run to
+# completion, checkpoint again (the final state the cmp gate compares),
+# estimates, close. The relative step targets make replay convergent: a
+# resumed session re-walks from its last durable checkpoint and the
+# trailing "step 1000000" always drives it to the budget-determined end.
+SCRIPT="$WORK/script.txt"
+{
+  for entry in "${METHODS[@]}"; do
+    read -r m b s dim <<<"$entry"
+    d=""
+    [ -n "$dim" ] && d=",\"dimension\":$dim"
+    printf '{"op":"open","session":"s-%s","method":"%s","budget":%s,"seed":%s%s}\n' \
+      "$m" "$m" "$b" "$s" "$d"
+    printf '{"op":"step","session":"s-%s","events":300}\n' "$m"
+    printf '{"op":"checkpoint","session":"s-%s"}\n' "$m"
+    printf '{"op":"step","session":"s-%s","events":1000000}\n' "$m"
+    printf '{"op":"checkpoint","session":"s-%s"}\n' "$m"
+    printf '{"op":"estimates","session":"s-%s"}\n' "$m"
+    printf '{"op":"close","session":"s-%s"}\n' "$m"
+  done
+  echo '{"op":"stats"}'
+  echo '{"op":"shutdown"}'
+} > "$SCRIPT"
+SCRIPT_LINES="$(wc -l < "$SCRIPT")"
+
+run_scenario() { # name failpoint-spec
+  local name="$1" fps="$2"
+  local sock="$WORK/$name.sock" spool="$WORK/spool_$name"
+  echo "== scenario $name ($fps)"
+  CUR_SOCK="$sock"
+
+  # Supervisor: the armed first incarnation, then clean replacements for
+  # as long as the daemon keeps dying (SIGKILL exits 137; a clean
+  # shutdown exits 0 and ends the loop).
+  (
+    set +e  # the whole point is daemons that exit nonzero
+    FRONTIER_FAILPOINTS="$fps" "$SERVE" "$WORK/g.bin" --mmap \
+      --socket "$sock" --spool "$spool" \
+      > "$WORK/$name.daemon.log" 2>&1
+    rc=$?
+    restarts=0
+    while [ "$rc" -ne 0 ]; do
+      restarts=$((restarts + 1))
+      "$SERVE" "$WORK/g.bin" --mmap --socket "$sock" --spool "$spool" \
+        >> "$WORK/$name.daemon.log" 2>&1
+      rc=$?
+    done
+    echo "$restarts" > "$WORK/$name.restarts"
+  ) &
+  SUP_PID=$!
+
+  for _ in $(seq 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || fail "$name: daemon never bound $sock"
+
+  "$SERVE" --connect --socket "$sock" --script "$SCRIPT" \
+    --save-estimates "$WORK/est_$name" \
+    --retry 8 --retry-backoff-ms 100 \
+    > "$WORK/$name.responses" 2> "$WORK/$name.client.log" ||
+    fail "$name: client failed (see $WORK/$name.client.log)"
+  wait "$SUP_PID"
+  SUP_PID=""
+  CUR_SOCK=""
+
+  local restarts
+  restarts="$(cat "$WORK/$name.restarts")"
+  [ "$restarts" -ge 1 ] ||
+    fail "$name: daemon never crashed — the scenario is vacuous"
+  # Replay chatter goes to stderr; stdout must stay 1:1 with the script.
+  local responses
+  responses="$(wc -l < "$WORK/$name.responses")"
+  [ "$responses" -eq "$SCRIPT_LINES" ] ||
+    fail "$name: $responses responses for $SCRIPT_LINES requests"
+
+  for entry in "${METHODS[@]}"; do
+    read -r m _ _ _ <<<"$entry"
+    cmp "$spool/s-$m.ckpt" "$WORK/off/$m.ckpt" ||
+      fail "$name: $m checkpoint diverged from the uncrashed run"
+    cmp "$WORK/est_$name/s-$m.json" "$WORK/off/$m.json" ||
+      fail "$name: $m estimates diverged from the uncrashed run"
+  done
+  echo "   $name: crashed $restarts time(s), recovered, all 5 methods" \
+       "byte-identical"
+}
+
+run_scenario fsync   "durable.fsync=kill9@3"
+run_scenario dirsync "durable.dirsync=kill9@3"
+run_scenario pump    "serve.pump=kill9@4"
+
+echo "crash_smoke: OK"

@@ -324,14 +324,10 @@ int cmd_stream(const ParsedArgs& args) {
   // bit-identical engine states, which is what CI's serve-smoke cmp's.
   const std::string estimates_json = args.get_path("estimates-json");
   if (!estimates_json.empty()) {
-    std::ofstream out(estimates_json);
-    if (!out) {
-      throw IoError("estimates: cannot open " + estimates_json);
-    }
-    out << "{" << estimates_fields(spec, engine) << "}\n";
-    if (!out.flush()) {
-      throw IoError("estimates: cannot write " + estimates_json);
-    }
+    // Durable replace: the crash harness cmp's this file against served
+    // runs, so it must never be observable half-written.
+    durable_write_file(estimates_json,
+                       "{" + estimates_fields(spec, engine) + "}\n");
     std::cout << "estimates written to " << estimates_json << "\n";
   }
 

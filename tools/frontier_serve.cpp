@@ -17,25 +17,33 @@
 //       "resume":true}.
 //
 //   frontier_serve --connect (--socket PATH | --port N) [--script FILE]
-//                  [--save-estimates DIR] [--expect-ok]
+//                  [--save-estimates DIR] [--expect-ok] [--retry N]
 //       Scripted client, one request line per response line: sends each
 //       non-comment line of FILE (default stdin) and prints the
 //       response. --expect-ok exits nonzero on the first {"ok":false}
 //       response; --save-estimates writes every estimates response as
 //       DIR/<session>.json in exactly the format `frontier_cli stream
 //       --estimates-json` writes, so CI can cmp served and offline
-//       estimates byte for byte.
+//       estimates byte for byte. --retry N survives daemon crashes:
+//       the client reconnects with exponential backoff
+//       (--retry-backoff-ms) and idempotently re-opens its sessions
+//       with resume:true before replaying the interrupted request —
+//       the crash harness drives exactly this path.
 //
 // The full protocol specification lives in docs/SERVER.md.
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "core/frontier.hpp"
@@ -161,6 +169,17 @@ CommandSpec client_spec() {
           {.name = "expect-ok",
            .type = OptionType::kFlag,
            .help = "exit nonzero on the first {\"ok\":false} response"},
+          {.name = "retry",
+           .type = OptionType::kU64,
+           .value_name = "N",
+           .help = "reconnect up to N times after a dropped connection, "
+                   "resuming open sessions from the spool (default 0)"},
+          {.name = "retry-backoff-ms",
+           .type = OptionType::kU64,
+           .value_name = "MS",
+           .help = "initial reconnect backoff, doubled per consecutive "
+                   "attempt (default 200)",
+           .min_u64 = 1},
       }};
 }
 
@@ -308,6 +327,159 @@ std::string estimates_file_body(const std::string& response) {
   return "{" + response.substr(start, response.size() - start - 1) + "}\n";
 }
 
+/// Best-effort (op, session) of a request line; empty fields when the
+/// line is not valid JSON (the server will answer with bad-request).
+struct RequestInfo {
+  std::string op;
+  std::string session;
+};
+
+RequestInfo classify_request(const std::string& line) {
+  RequestInfo info;
+  try {
+    const json::Value doc = json::parse(line, "request");
+    for (const auto& [key, value] : doc.members) {
+      if (value.kind != json::Value::Kind::kString) continue;
+      if (key == "op") info.op = value.text;
+      if (key == "session") info.session = value.text;
+    }
+  } catch (const json::ParseError&) {
+    // Not ours to validate; leave empty.
+  }
+  return info;
+}
+
+/// Rewrites an `open` request to `"resume":true` for replay after a
+/// reconnect (the parser rejects duplicate keys, so the existing member
+/// is replaced in place when present).
+std::string with_resume(const std::string& open_line) {
+  const std::size_t pos = open_line.find("\"resume\":");
+  if (pos != std::string::npos) {
+    std::size_t end = pos + std::string("\"resume\":").size();
+    while (end < open_line.size() && open_line[end] != ',' &&
+           open_line[end] != '}') {
+      ++end;
+    }
+    return open_line.substr(0, pos) + "\"resume\":true" +
+           open_line.substr(end);
+  }
+  const std::size_t brace = open_line.rfind('}');
+  if (brace == std::string::npos) return open_line;
+  return open_line.substr(0, brace) + ",\"resume\":true" +
+         open_line.substr(brace);
+}
+
+/// The reconnecting client: connection drops are retried with
+/// exponential backoff, and every session this script opened (and has
+/// not closed) is re-established first — `resume:true` against the
+/// daemon's spool, falling back to a fresh open when the daemon died
+/// before its first spool write. Because a resumed engine restores the
+/// exact checkpointed state and completion is budget-determined, the
+/// replayed crawl converges to the same final bytes as an uncrashed
+/// run (the crash harness cmp's exactly this).
+class ClientConnection {
+ public:
+  ClientConnection(const CommandSpec& spec, const ParsedArgs& args)
+      : spec_(spec),
+        args_(args),
+        retries_(args.get_u64("retry", 0)),
+        backoff_ms_(args.get_u64("retry-backoff-ms", 200)) {
+    fd_ = connect_to(spec_, args_);
+  }
+  ~ClientConnection() {
+    if (fd_ >= 0) (void)::close(fd_);
+  }
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  /// Sends one script line and returns the response, reconnecting and
+  /// replaying session opens when the connection drops mid-request.
+  std::string request(const std::string& line) {
+    const RequestInfo info = classify_request(line);
+    std::uint64_t attempts = 0;
+    while (true) {
+      try {
+        const std::string response = roundtrip(line);
+        track(info, response);
+        return response;
+      } catch (const IoError& e) {
+        if (attempts >= retries_) throw;
+        ++attempts;
+        std::cerr << "connect: connection lost (" << e.what()
+                  << "); retry " << attempts << "/" << retries_ << "\n";
+        try {
+          reconnect(attempts);
+        } catch (const IoError& re) {
+          // The daemon is not back yet (connection refused while it
+          // restarts): the attempt is spent, the next loop iteration
+          // fails fast on the dead fd and backs off longer.
+          std::cerr << "connect: reconnect failed (" << re.what() << ")\n";
+        }
+      }
+    }
+  }
+
+ private:
+  std::string roundtrip(const std::string& line) {
+    send_all(fd_, line + "\n");
+    return recv_line(fd_, buffer_);
+  }
+
+  /// Remembers which sessions are open and the line that opened them,
+  /// so reconnects know what to re-establish.
+  void track(const RequestInfo& info, const std::string& response) {
+    if (response.rfind("{\"ok\":true", 0) != 0) return;
+    if (info.op == "open" && !info.session.empty()) {
+      open_lines_[info.session] = last_open_line_;
+    } else if (info.op == "close" && !info.session.empty()) {
+      open_lines_.erase(info.session);
+    }
+  }
+
+  void reconnect(std::uint64_t attempt) {
+    if (fd_ >= 0) (void)::close(fd_);
+    fd_ = -1;
+    buffer_.clear();
+    const std::uint64_t shift = std::min<std::uint64_t>(attempt - 1, 16);
+    const auto delay = std::chrono::milliseconds(backoff_ms_ << shift);
+    std::this_thread::sleep_for(delay);
+    fd_ = connect_to(spec_, args_);  // throws IoError; request() counts it
+    replay_opens();
+  }
+
+  /// Re-establishes every open session on the fresh connection. Replay
+  /// responses go to stderr so stdout stays one response per script
+  /// line.
+  void replay_opens() {
+    for (const auto& [session, open_line] : open_lines_) {
+      std::string response = roundtrip(with_resume(open_line));
+      if (response.rfind("{\"ok\":false,\"error\":\"bad-checkpoint\"", 0) ==
+          0) {
+        // The daemon died before this session's first spool write:
+        // nothing to resume, so start it fresh — deterministic from the
+        // seed, so the final bytes still match an uncrashed run.
+        response = roundtrip(open_line);
+      }
+      std::cerr << "connect: re-established \"" << session
+                << "\": " << response << "\n";
+    }
+  }
+
+  const CommandSpec& spec_;
+  const ParsedArgs& args_;
+  std::uint64_t retries_;
+  std::uint64_t backoff_ms_;
+  int fd_ = -1;
+  std::string buffer_;
+  std::map<std::string, std::string> open_lines_;
+
+ public:
+  /// request() needs the raw line that performed an open; the caller
+  /// sets it just before calling (kept out of the signature so the
+  /// retry loop replays the same bytes).
+  std::string last_open_line_;
+};
+
 int run_client(const CommandSpec& spec, const ParsedArgs& args) {
   const std::string script_path = args.get_path("script");
   std::ifstream script_file;
@@ -330,14 +502,19 @@ int run_client(const CommandSpec& spec, const ParsedArgs& args) {
   }
   const bool expect_ok = args.get_flag("expect-ok");
 
-  const int fd = connect_to(spec, args);
-  std::string buffer;
+#ifdef SIGPIPE
+  // A daemon killed mid-request must surface as a retryable IoError from
+  // write(2) (EPIPE), not as SIGPIPE terminating the client.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
+  ClientConnection conn(spec, args);
   std::string line;
   int status = 0;
   while (std::getline(script, line)) {
     if (line.empty() || line[0] == '#') continue;
-    send_all(fd, line + "\n");
-    const std::string response = recv_line(fd, buffer);
+    conn.last_open_line_ = line;
+    const std::string response = conn.request(line);
     std::cout << response << "\n";
     if (expect_ok && response.rfind("{\"ok\":false", 0) == 0) {
       std::cerr << "connect: request failed: " << line << "\n";
@@ -351,13 +528,9 @@ int run_client(const CommandSpec& spec, const ParsedArgs& args) {
       const std::string session =
           json::get_string(doc, "session", "serve response");
       const std::string path = estimates_dir + "/" + session + ".json";
-      std::ofstream out(path);
-      if (!out || !(out << estimates_file_body(response)).flush()) {
-        throw IoError("connect: cannot write " + path);
-      }
+      durable_write_file(path, estimates_file_body(response));
     }
   }
-  (void)::close(fd);
   return status;
 }
 

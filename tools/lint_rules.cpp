@@ -77,6 +77,22 @@ constexpr ForbiddenToken kStdoutTokens[] = {
     {"putchar", true, "library code takes an ostream& or stays silent"},
 };
 
+// --- durable-file-replacement --------------------------------------------
+// Files the system reads back (checkpoints, spool, estimates, reports)
+// must be replaced through core/durable.hpp's durable_write_file — tmp
+// file + fsync + atomic rename + parent-dir fsync — or a crash can leave
+// a torn file that deserializes as garbage. A raw ofstream or rename()
+// in src/ or tools/ is a finding; create-only streams (no reader depends
+// on their atomicity) are waived per line with a rationale.
+constexpr ForbiddenToken kDurableTokens[] = {
+    {"std::rename", true,
+     "replace files via durable_write_file (core/durable.hpp) so the swap "
+     "is fsync'd and atomic"},
+    {"std::ofstream", false,
+     "file replacement goes through durable_write_file (core/durable.hpp); "
+     "waive genuinely create-only/append streams with a rationale"},
+};
+
 [[nodiscard]] bool starts_with(std::string_view s, std::string_view p) {
   return s.substr(0, p.size()) == p;
 }
@@ -85,6 +101,12 @@ constexpr ForbiddenToken kStdoutTokens[] = {
 }
 
 [[nodiscard]] bool in_src(std::string_view p) { return starts_with(p, "src/"); }
+[[nodiscard]] bool in_tools(std::string_view p) {
+  return starts_with(p, "tools/");
+}
+[[nodiscard]] bool is_durable_helper(std::string_view p) {
+  return starts_with(p, "src/core/durable.");
+}
 [[nodiscard]] bool is_designated_printer(std::string_view p) {
   return starts_with(p, "src/experiments/printers.");
 }
@@ -260,6 +282,10 @@ std::vector<RuleInfo> rules() {
       {"bench-session",
        "every bench/bench_*.cpp routes through bench_common::BenchSession "
        "(--json + result_fingerprint discipline)"},
+      {"durable-file-replacement",
+       "src/ and tools/ replace files only via durable_write_file "
+       "(core/durable.hpp) — raw std::ofstream/std::rename swaps are "
+       "findings unless waived as create-only"},
       {"suppression-rationale",
        "every lint:allow(rule) waiver carries a written rationale"},
   };
@@ -288,17 +314,25 @@ std::vector<Diagnostic> check_file(std::string_view rel_path,
                    "every bench must support --json and emit a fingerprint"});
   }
 
-  if (in_src(rel_path)) {
+  if (in_src(rel_path) || in_tools(rel_path)) {
     const std::vector<std::string_view> raw_lines = split_lines(content);
     const std::vector<std::string_view> scrubbed_lines =
         split_lines(scrubbed);
-    run_token_rule(rel_path, raw_lines, scrubbed_lines,
-                   "determinism-no-wall-clock", kWallClockTokens,
-                   std::size(kWallClockTokens), out);
-    if (!is_designated_printer(rel_path)) {
+    if (in_src(rel_path)) {
       run_token_rule(rel_path, raw_lines, scrubbed_lines,
-                     "no-stdout-in-library", kStdoutTokens,
-                     std::size(kStdoutTokens), out);
+                     "determinism-no-wall-clock", kWallClockTokens,
+                     std::size(kWallClockTokens), out);
+      if (!is_designated_printer(rel_path)) {
+        run_token_rule(rel_path, raw_lines, scrubbed_lines,
+                       "no-stdout-in-library", kStdoutTokens,
+                       std::size(kStdoutTokens), out);
+      }
+    }
+    // The durable helper itself is the one place the raw idiom lives.
+    if (!is_durable_helper(rel_path)) {
+      run_token_rule(rel_path, raw_lines, scrubbed_lines,
+                     "durable-file-replacement", kDurableTokens,
+                     std::size(kDurableTokens), out);
     }
   }
 

@@ -16,6 +16,12 @@
 //   bench-session              every bench/bench_*.cpp routes through
 //                              bench_common::BenchSession (the --json /
 //                              result_fingerprint discipline CI gates on).
+//   durable-file-replacement   src/ and tools/ must not hand-roll file
+//                              replacement (raw std::ofstream or
+//                              std::rename): the durable-write helper
+//                              (core/durable.hpp) owns the tmp + fsync +
+//                              rename + dir-fsync protocol. Create-only
+//                              and append streams are waived per line.
 //
 // Suppression: a finding is waived per line with
 //     // lint:allow(rule-name): why this specific use is sound
